@@ -1,0 +1,488 @@
+// Package repro's root benchmark harness: one benchmark per evaluation
+// artifact of the paper (see DESIGN.md §2 and EXPERIMENTS.md), plus
+// micro-benchmarks for the BDD substrate. Run with:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/automata"
+	"repro/internal/bdd"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/ctl"
+	"repro/internal/ctlstar"
+	"repro/internal/explicit"
+	"repro/internal/graph"
+	"repro/internal/kripke"
+	"repro/internal/mc"
+)
+
+// --- E1: the Seitz arbiter case study ---------------------------------
+
+// BenchmarkArbiterReachability measures the symbolic reachability sweep
+// of the arbiter (paper: 33,633 states, "a few minutes" total).
+func BenchmarkArbiterReachability(b *testing.B) {
+	model, err := circuit.SeitzArbiter().Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.Reachable()
+	}
+}
+
+// BenchmarkArbiterCounterexample measures end-to-end counterexample
+// generation for AG(tr1 -> AF ta1), the paper's headline experiment.
+func BenchmarkArbiterCounterexample(b *testing.B) {
+	model, err := circuit.SeitzArbiter().Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := ctl.MustParse("AG (tr1 -> AF ta1)")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen := core.NewGenerator(mc.New(model))
+		ok, tr, err := gen.CounterexampleInit(spec)
+		if err != nil || ok || tr == nil {
+			b.Fatalf("expected counterexample: ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+// BenchmarkArbiterFullVerification checks all four arbiter specs.
+func BenchmarkArbiterFullVerification(b *testing.B) {
+	model, err := circuit.SeitzArbiter().Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var specs []*ctl.Formula
+	for _, s := range circuit.ArbiterSpecs {
+		specs = append(specs, ctl.MustParse(s))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen := core.NewGenerator(mc.New(model))
+		for _, f := range specs {
+			if _, _, err := gen.CounterexampleInit(f); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- E2/E3: witness construction across SCC shapes --------------------
+
+func figure1Model() *kripke.Explicit {
+	e := kripke.NewExplicit(3)
+	e.AddEdge(0, 1)
+	e.AddEdge(1, 2)
+	e.AddEdge(2, 0)
+	e.AddInit(0)
+	e.AddFairSet("h1", []bool{false, true, false})
+	e.AddFairSet("h2", []bool{false, false, true})
+	return e
+}
+
+func sccChain(depth int) *kripke.Explicit {
+	e := kripke.NewExplicit(2 * depth)
+	h1 := make([]bool, 2*depth)
+	h2 := make([]bool, 2*depth)
+	for i := 0; i < depth; i++ {
+		a, c := 2*i, 2*i+1
+		e.AddEdge(a, c)
+		e.AddEdge(c, a)
+		if i < depth-1 {
+			e.AddEdge(c, a+2)
+		}
+		h1[a] = true
+		if i == depth-1 {
+			h2[c] = true
+		}
+	}
+	e.AddInit(0)
+	e.AddFairSet("h1", h1)
+	e.AddFairSet("h2", h2)
+	return e
+}
+
+// BenchmarkWitnessSingleSCC: Figure 1 — the cycle closes immediately.
+func BenchmarkWitnessSingleSCC(b *testing.B) {
+	s := kripke.FromExplicit(figure1Model())
+	start := kripke.IndexState(0, len(s.Vars))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen := core.NewGenerator(mc.New(s))
+		if _, err := gen.WitnessEG(bdd.True, start); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWitnessMultiSCC: Figure 2 — the walk restarts down the SCC
+// DAG; parameterized by chain depth and strategy.
+func BenchmarkWitnessMultiSCC(b *testing.B) {
+	for _, depth := range []int{3, 6, 12} {
+		e := sccChain(depth)
+		s := kripke.FromExplicit(e)
+		start := kripke.IndexState(0, len(s.Vars))
+		for _, strat := range []core.Strategy{core.StrategySimple, core.StrategyPrecompute} {
+			b.Run(fmt.Sprintf("depth=%d/strategy=%s", depth, strat), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					gen := core.NewGenerator(mc.New(s))
+					gen.Strategy = strat
+					if _, err := gen.WitnessEG(bdd.True, start); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- E4: minimal vs heuristic witnesses (Theorem 1) -------------------
+
+// BenchmarkMinimalWitnessBruteForce: the NP-complete exact problem.
+func BenchmarkMinimalWitnessBruteForce(b *testing.B) {
+	for _, n := range []int{5, 6, 7} {
+		r := rand.New(rand.NewSource(int64(n)))
+		e := kripke.RandomExplicit(r, n, 2, nil, 2, 0.3)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				graph.MinimalFiniteWitness(e, e.Init[0], e.N*(len(e.Fair)+1))
+			}
+		})
+	}
+}
+
+// BenchmarkHeuristicWitness: the paper's polynomial heuristic on the
+// same instances.
+func BenchmarkHeuristicWitness(b *testing.B) {
+	for _, n := range []int{5, 6, 7} {
+		r := rand.New(rand.NewSource(int64(n)))
+		e := kripke.RandomExplicit(r, n, 2, nil, 2, 0.3)
+		s := kripke.FromExplicit(e)
+		start := kripke.IndexState(e.Init[0], len(s.Vars))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			probe := core.NewGenerator(mc.New(s))
+			if !s.Holds(probe.C.Fair(), start) {
+				b.Skipf("n=%d: start state is unfair", n)
+			}
+			for i := 0; i < b.N; i++ {
+				gen := core.NewGenerator(mc.New(s))
+				if _, err := gen.WitnessEG(bdd.True, start); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHamiltonianReduction exercises the Theorem 1 reduction.
+func BenchmarkHamiltonianReduction(b *testing.B) {
+	succ := [][]int{{1}, {2}, {3}, {4}, {0}} // 5-ring
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !graph.HamiltonianViaWitness(succ) {
+			b.Fatal("ring must be Hamiltonian")
+		}
+	}
+}
+
+// --- E5: the CTL* fragment (Section 7) --------------------------------
+
+func ctlstarModel() *kripke.Symbolic {
+	r := rand.New(rand.NewSource(5))
+	e := kripke.RandomExplicit(r, 24, 3, []string{"p", "q"}, 1, 0.3)
+	return kripke.FromExplicit(e)
+}
+
+// BenchmarkCTLStarCheck compares the Emerson–Lei fixpoint against the
+// exponential case split.
+func BenchmarkCTLStarCheck(b *testing.B) {
+	s := ctlstarModel()
+	f := ctlstar.MustParse("E (GF p | FG q) & (GF q | FG p)")
+	b.Run("emerson-lei", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sc := ctlstar.New(mc.New(s))
+			if _, err := sc.CheckEL(f); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("case-split", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sc := ctlstar.New(mc.New(s))
+			if _, err := sc.CheckSplit(f); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCTLStarWitness measures fragment witness generation.
+func BenchmarkCTLStarWitness(b *testing.B) {
+	s := ctlstarModel()
+	f := ctlstar.MustParse("E (GF p | FG q) & (GF q | FG p)")
+	sc := ctlstar.New(mc.New(s))
+	set, err := sc.Check(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reach, _ := s.Reachable()
+	states := s.EnumStates(s.M.And(reach, set), 1)
+	if len(states) == 0 {
+		b.Skip("formula unsatisfied on this model")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := ctlstar.New(mc.New(s))
+		if _, err := sc.Witness(f, states[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E6: Streett containment (Section 8) ------------------------------
+
+// BenchmarkStreettContainment measures a failing containment check
+// including counterexample word extraction.
+func BenchmarkStreettContainment(b *testing.B) {
+	mkAll := func() *automata.Streett {
+		a := automata.NewStreett("all", 1, []string{"a", "b"})
+		a.AddTrans(0, "a", 0)
+		a.AddTrans(0, "b", 0)
+		a.AddPair("trivial", []int{0}, nil)
+		return a
+	}
+	mkInfA := func() *automata.Streett {
+		a := automata.NewStreett("infA", 2, []string{"a", "b"})
+		a.Init = 1
+		a.AddTrans(0, "a", 0)
+		a.AddTrans(0, "b", 1)
+		a.AddTrans(1, "a", 0)
+		a.AddTrans(1, "b", 1)
+		a.AddPair("inf-a", nil, []int{0})
+		return a
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := automata.CheckContainment(mkAll(), mkInfA())
+		if err != nil || res.Contained {
+			b.Fatalf("containment must fail: %v", err)
+		}
+	}
+}
+
+// --- E7: symbolic vs explicit (the EMC baseline) ----------------------
+
+// BenchmarkSymbolicVsExplicit contrasts symbolic reachability with
+// explicit enumeration on chained arbiters.
+func BenchmarkSymbolicVsExplicit(b *testing.B) {
+	for _, k := range []int{1, 2} {
+		model, err := circuit.ScaledArbiter(k).Compile()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("symbolic/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				model.Reachable()
+			}
+		})
+		if k == 1 {
+			b.Run(fmt.Sprintf("explicit/k=%d", k), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := model.ToExplicit(0); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkExplicitCTL measures the EMC-style checker on an enumerated
+// arbiter, for comparison with the symbolic one.
+func BenchmarkExplicitCTL(b *testing.B) {
+	model, err := circuit.SeitzArbiter().Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, _, err := model.ToExplicit(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := ctl.MustParse("AG (tr1 -> AF ta1)")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := explicit.New(e)
+		if _, err := c.Check(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSymbolicCTL is the symbolic counterpart of
+// BenchmarkExplicitCTL (checking only, no counterexample).
+func BenchmarkSymbolicCTL(b *testing.B) {
+	model, err := circuit.SeitzArbiter().Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := ctl.MustParse("AG (tr1 -> AF ta1)")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := mc.New(model)
+		if _, err := c.Check(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- BDD substrate micro-benchmarks ------------------------------------
+
+// BenchmarkBDDIte builds a dense random function tree.
+func BenchmarkBDDIte(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := bdd.New(16)
+		f := bdd.False
+		for v := 0; v < 16; v++ {
+			f = m.Xor(f, m.Var(v))
+		}
+		g := bdd.True
+		for v := 0; v < 16; v += 2 {
+			g = m.And(g, m.Or(m.Var(v), m.Var(v+1)))
+		}
+		m.Ite(f, g, m.Not(g))
+	}
+}
+
+// BenchmarkRelationalProduct measures the fused AndExists on the
+// arbiter's transition relation — the checker's inner loop.
+func BenchmarkRelationalProduct(b *testing.B) {
+	model, err := circuit.SeitzArbiter().Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	reach, _ := model.Reachable()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.Preimage(reach)
+	}
+}
+
+// BenchmarkSatCount measures model counting on the reachable set.
+func BenchmarkSatCount(b *testing.B) {
+	model, err := circuit.SeitzArbiter().Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	reach, _ := model.Reachable()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.CountStates(reach)
+	}
+}
+
+// BenchmarkPartitionedVsMonolithic is the E11 ablation: early-quantified
+// clustered image computation vs. the monolithic relation.
+func BenchmarkPartitionedVsMonolithic(b *testing.B) {
+	for _, k := range []int{1, 2} {
+		model, err := circuit.ScaledArbiter(k).Compile()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("partitioned/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				model.Reachable()
+			}
+		})
+		model.SetClusters(nil)
+		b.Run(fmt.Sprintf("monolithic/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				model.Reachable()
+			}
+		})
+	}
+}
+
+// BenchmarkTreeArbiterHazard measures the second case study (E12): the
+// stale-ack hazard hunt on the 4-user tree arbiter.
+func BenchmarkTreeArbiterHazard(b *testing.B) {
+	model, err := circuit.TreeArbiter(2).Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := ctl.MustParse(circuit.TreeArbiterMutexSpec(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen := core.NewGenerator(mc.New(model))
+		ok, _, err := gen.CounterexampleInit(spec)
+		if err != nil || ok {
+			b.Fatalf("hazard must be found: ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+// BenchmarkTraceCompaction measures the Section 9 extension on the
+// arbiter counterexample.
+func BenchmarkTraceCompaction(b *testing.B) {
+	model, err := circuit.SeitzArbiter().Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := ctl.MustParse("AG (tr1 -> AF ta1)")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen := core.NewGenerator(mc.New(model))
+		_, tr, err := gen.CounterexampleInit(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		core.Compact(model, tr, bdd.True)
+	}
+}
+
+// BenchmarkBDDSerialization round-trips the arbiter's reachable set.
+func BenchmarkBDDSerialization(b *testing.B) {
+	model, err := circuit.SeitzArbiter().Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	reach, _ := model.Reachable()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := model.M.Save(&buf, []bdd.Ref{reach}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := model.M.Load(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReorder measures offline variable reordering on an
+// interleaving-sensitive function.
+func BenchmarkReorder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := bdd.New(12)
+		f := bdd.True
+		for v := 0; v < 6; v++ {
+			f = m.And(f, m.Eq(m.Var(v), m.Var(v+6)))
+		}
+		order := make([]int, 12)
+		for v := 0; v < 6; v++ {
+			order[2*v] = v
+			order[2*v+1] = v + 6
+		}
+		m.Reorder(order, []bdd.Ref{f})
+	}
+}

@@ -1,0 +1,49 @@
+// Command experiments runs the full reproduction suite (E1–E12, see
+// DESIGN.md §2) and prints one paper-vs-measured block per experiment,
+// in the Markdown format EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	experiments [-only E1,E4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[strings.ToUpper(id)] = true
+		}
+	}
+
+	t0 := time.Now()
+	fmt.Printf("# Reproduction results (%s)\n\n", time.Now().Format("2006-01-02"))
+	failed := 0
+	for _, entry := range experiments.All() {
+		if len(want) > 0 && !want[entry.ID] {
+			continue
+		}
+		rep := entry.Run()
+		fmt.Println(rep.String())
+		if rep.Err != nil {
+			failed++
+		}
+	}
+	fmt.Printf("\ntotal wall time: %.1fs\n", time.Since(t0).Seconds())
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) failed\n", failed)
+		os.Exit(1)
+	}
+}

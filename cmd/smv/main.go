@@ -1,0 +1,174 @@
+// Command smv is a small symbolic model checker in the style of the SMV
+// system the paper describes: it reads a model in an SMV-like input
+// language, checks every SPEC, and prints counterexample traces for the
+// specifications that fail.
+//
+// Usage:
+//
+//	smv [-stats] [-delta] [-reachable] [-witness] [-compact] [-tree]
+//	    [-simulate N -seed S] model.smv
+//
+// Flags:
+//
+//	-stats      print BDD and fixpoint statistics after checking
+//	-delta      print traces showing only changed variables per state
+//	-reachable  report the number of reachable states first
+//	-witness    for specs that hold and are existential, print a witness
+//	-compact    shorten traces with shortcut compaction (§9 extension)
+//	-tree       print failures as hierarchical explanation trees (§9)
+//	-simulate N print a random N-step execution instead of checking
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/bdd"
+	"repro/internal/core"
+	"repro/internal/ctl"
+	"repro/internal/kripke"
+	"repro/internal/mc"
+	"repro/internal/smv"
+)
+
+func main() {
+	stats := flag.Bool("stats", false, "print BDD/fixpoint statistics")
+	delta := flag.Bool("delta", false, "print traces as per-state deltas")
+	reachable := flag.Bool("reachable", false, "report reachable state count")
+	witness := flag.Bool("witness", false, "print witnesses for satisfied existential specs")
+	compact := flag.Bool("compact", false, "shorten traces with shortcut compaction")
+	tree := flag.Bool("tree", false, "print counterexamples as explanation trees")
+	simulate := flag.Int("simulate", 0, "print a random execution of N steps instead of checking")
+	seed := flag.Int64("seed", 1, "random seed for -simulate")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: smv [flags] model.smv")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	compiled, err := smv.CompileSource(string(src))
+	if err != nil {
+		fatal(err)
+	}
+
+	if *reachable {
+		reach, iters := compiled.S.Reachable()
+		fmt.Printf("reachable states: %.0f (in %d frontier iterations)\n\n",
+			compiled.S.CountStates(reach), iters)
+	}
+
+	if *simulate > 0 {
+		tr, err := compiled.Simulate(rand.New(rand.NewSource(*seed)), *simulate)
+		if tr != nil {
+			fmt.Println("-- random execution:")
+			printTrace(compiled, tr, *delta)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	checker := mc.New(compiled.S)
+	gen := core.NewGenerator(checker)
+	exitCode := 0
+	for _, sp := range compiled.Module.Specs {
+		fmt.Printf("-- specification %s ", sp.Source)
+		if err := compiled.ResolveSpecAtoms(sp.Formula); err != nil {
+			fmt.Printf("ERROR: %v\n", err)
+			exitCode = 2
+			continue
+		}
+		holds, tr, err := gen.CounterexampleInit(sp.Formula)
+		if err != nil {
+			fmt.Printf("ERROR: %v\n", err)
+			exitCode = 2
+			continue
+		}
+		if holds {
+			fmt.Println("is true")
+			if *witness {
+				printWitness(compiled, gen, sp.Formula, *delta)
+			}
+			continue
+		}
+		fmt.Println("is false")
+		exitCode = 1
+		if *tree && tr != nil {
+			start := tr.States[0] // the failing initial state
+			if node, terr := gen.CounterexampleTree(sp.Formula, start); terr == nil {
+				fmt.Println("-- explanation:")
+				fmt.Print(node.Render(func(st kripke.State) string {
+					return compiled.FormatStateByVars(st)
+				}))
+				continue
+			}
+		}
+		if *compact && tr != nil {
+			core.Compact(compiled.S, tr, bdd.True)
+		}
+		fmt.Println("-- as demonstrated by the following execution sequence:")
+		printTrace(compiled, tr, *delta)
+	}
+
+	if *stats {
+		m := compiled.S.M
+		fmt.Printf("\n-- statistics\n")
+		fmt.Printf("state variables:    %d (BDD variables: %d)\n", len(compiled.S.Vars), m.NumVars())
+		fmt.Printf("live BDD nodes:     %d\n", m.NumNodes())
+		fmt.Printf("ITE calls:          %d (cache hits %d / lookups %d)\n",
+			m.Stats.ITECalls, m.Stats.CacheHits, m.Stats.CacheLookups)
+		fmt.Printf("EU fixpoints:       %d (%d iterations)\n",
+			checker.Stats.EUFixpoints, checker.Stats.EUIterations)
+		fmt.Printf("EG fixpoints:       %d (%d iterations, %d fair outer)\n",
+			checker.Stats.EGFixpoints, checker.Stats.EGIterations, checker.Stats.FairEGOuter)
+		fmt.Printf("peak BDD nodes:     %d\n", checker.Stats.PeakNodes)
+		fmt.Printf("witness ring steps: %d (restarts %d)\n",
+			gen.Stats.RingSteps, gen.Stats.Restarts)
+	}
+	os.Exit(exitCode)
+}
+
+// printWitness prints a demonstration for satisfied specs whose
+// top-level shape is existential (EF/EX/EG/EU) from some initial state.
+func printWitness(c *smv.Compiled, gen *core.Generator, f *ctl.Formula, delta bool) {
+	switch f.Kind {
+	case ctl.KEX, ctl.KEU, ctl.KEG, ctl.KEF:
+	default:
+		return
+	}
+	start := c.S.PickState(c.S.Init)
+	if start == nil {
+		return
+	}
+	tr, err := gen.Witness(f, start)
+	if err != nil {
+		return
+	}
+	fmt.Println("-- witness execution sequence:")
+	printTrace(c, tr, delta)
+}
+
+func printTrace(c *smv.Compiled, tr *core.Trace, delta bool) {
+	if tr == nil {
+		return
+	}
+	if delta {
+		fmt.Print(c.DeltaTraceString(tr))
+		return
+	}
+	fmt.Print(c.TraceString(tr))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

@@ -1,0 +1,132 @@
+package repro
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildBinary compiles one of the cmd/ programs into a temp dir.
+func buildBinary(t *testing.T, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), filepath.Base(pkg))
+	cmd := exec.Command("go", "build", "-o", bin, "./"+pkg)
+	cmd.Env = os.Environ()
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+// TestE2ESmvCLI drives the smv binary over the shipped models exactly
+// as a user would.
+func TestE2ESmvCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildBinary(t, "cmd/smv")
+
+	t.Run("counter holds", func(t *testing.T) {
+		out, err := exec.Command(bin, "-stats", "models/counter.smv").CombinedOutput()
+		if err != nil {
+			t.Fatalf("counter.smv should verify cleanly: %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "is true") || strings.Contains(string(out), "is false") {
+			t.Fatalf("unexpected verdicts:\n%s", out)
+		}
+		if !strings.Contains(string(out), "statistics") {
+			t.Fatalf("-stats output missing:\n%s", out)
+		}
+	})
+
+	t.Run("mutex fails with exit 1 and a trace", func(t *testing.T) {
+		out, err := exec.Command(bin, "models/mutex.smv").CombinedOutput()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 1 {
+			t.Fatalf("want exit 1, got %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "execution sequence") ||
+			!strings.Contains(string(out), "p1=critical p2=critical") {
+			t.Fatalf("trace missing:\n%s", out)
+		}
+	})
+
+	t.Run("seitz with tree explanation", func(t *testing.T) {
+		out, _ := exec.Command(bin, "-tree", "models/seitz.smv").CombinedOutput()
+		if !strings.Contains(string(out), "-- explanation:") ||
+			!strings.Contains(string(out), "back to (*)") {
+			t.Fatalf("tree output missing:\n%s", out)
+		}
+	})
+
+	t.Run("simulate", func(t *testing.T) {
+		out, err := exec.Command(bin, "-simulate", "5", "-delta", "models/cache.smv").CombinedOutput()
+		if err != nil {
+			t.Fatalf("simulate failed: %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "random execution") ||
+			!strings.Contains(string(out), "state 5:") {
+			t.Fatalf("simulation output malformed:\n%s", out)
+		}
+	})
+
+	t.Run("bad model exits 2", func(t *testing.T) {
+		tmp := filepath.Join(t.TempDir(), "bad.smv")
+		if err := os.WriteFile(tmp, []byte("MODULE main VAR x : ;"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := exec.Command(bin, tmp).CombinedOutput()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 2 {
+			t.Fatalf("want exit 2, got %v", err)
+		}
+	})
+}
+
+// TestE2EArbiterBinary runs the case-study binary end to end.
+func TestE2EArbiterBinary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildBinary(t, "cmd/arbiter")
+	out, err := exec.Command(bin, "-strategy", "precompute").CombinedOutput()
+	if err != nil {
+		t.Fatalf("arbiter binary failed: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{
+		"reachable states: 12288",
+		"AG (tr1 -> AF ta1) is false",
+		"validated against the model",
+		"AG !(meol & meor) is true",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestE2EExperimentsSubset runs the experiments binary on the cheap
+// experiments and checks the exit code and format.
+func TestE2EExperimentsSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildBinary(t, "cmd/experiments")
+	out, err := exec.Command(bin, "-only", "E2,E3,E6").CombinedOutput()
+	if err != nil {
+		t.Fatalf("experiments failed: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{"## E2", "## E3", "## E6", "| quantity | paper | measured |"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "FAILED") {
+		t.Fatalf("an experiment failed:\n%s", s)
+	}
+}

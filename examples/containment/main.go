@@ -1,0 +1,98 @@
+// Language-containment example (Section 8): verify a retry-based
+// transmitter implementation against a deterministic Streett
+// specification, get a concrete counterexample *word* when it fails,
+// then strengthen the implementation with a fairness pair and watch the
+// check go through.
+//
+// Alphabet: send, retry, done.
+//
+//	Spec:  every behaviour must have infinitely many "done"
+//	       (a Streett pair forcing progress).
+//	Impl1: a transmitter that may retry forever       -> NOT contained
+//	Impl2: the same with a Streett pair ruling out
+//	       endless retries                            -> contained
+//
+// Run with:
+//
+//	go run ./examples/containment
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/automata"
+)
+
+var alphabet = []string{"send", "retry", "done"}
+
+// spec accepts exactly the words with infinitely many "done": state 1
+// after a done, state 0 otherwise; pair (∅, {1}) requires inf ∩ {1} ≠ ∅.
+func spec() *automata.Streett {
+	a := automata.NewStreett("spec: infinitely many done", 2, alphabet)
+	a.Init = 0
+	for _, q := range []int{0, 1} {
+		a.AddTrans(q, "send", 0)
+		a.AddTrans(q, "retry", 0)
+		a.AddTrans(q, "done", 1)
+	}
+	a.AddPair("progress", nil, []int{1})
+	return a
+}
+
+// transmitter models: state 0 = idle, 1 = sending.
+// idle --send--> sending; sending --retry--> sending; sending --done--> idle.
+// Without any acceptance pair constraining retries, the run
+// send retry^ω is accepted.
+func transmitter(fairRetries bool) *automata.Streett {
+	name := "impl: transmitter"
+	if fairRetries {
+		name += " (fair retries)"
+	}
+	a := automata.NewStreett(name, 2, alphabet)
+	a.Init = 0
+	a.AddTrans(0, "send", 1)
+	a.AddTrans(1, "retry", 1)
+	a.AddTrans(1, "done", 0)
+	if fairRetries {
+		// Streett pair: stay in {} forever or hit idle infinitely often —
+		// i.e. a transmission always eventually completes.
+		a.AddPair("eventually-done", nil, []int{0})
+	} else {
+		all := []int{0, 1}
+		a.AddPair("any", all, nil)
+	}
+	a.MakeComplete()
+	return a
+}
+
+func main() {
+	for _, fair := range []bool{false, true} {
+		k := transmitter(fair)
+		kp := spec()
+		res, err := automata.CheckContainment(k, kp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("L(%s) ⊆ L(%s)?\n", k.Name, kp.Name)
+		if res.Contained {
+			fmt.Println("  yes — every implementation behaviour makes progress")
+		} else {
+			fmt.Printf("  NO — counterexample word: %s\n", res.Word.Format(alphabet))
+			fmt.Printf("  (violates specification pair %d; product trace: %d states, cycle %d)\n",
+				res.ViolatedPair, res.Trace.Len(), res.Trace.CycleLen())
+			// Double-check the word against both automata.
+			inK, err := k.Accepts(res.Word)
+			if err != nil {
+				log.Fatal(err)
+			}
+			inKp, err := kp.Accepts(res.Word)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  verified: accepted by implementation = %v, by specification = %v\n",
+				inK, inKp)
+		}
+		fmt.Println()
+	}
+}

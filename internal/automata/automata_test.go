@@ -1,0 +1,335 @@
+package automata
+
+import (
+	"strings"
+	"testing"
+)
+
+// abAlphabet is the two-letter alphabet used throughout the tests.
+var abAlphabet = []string{"a", "b"}
+
+// infinitelyManyA builds the deterministic Büchi-style Streett automaton
+// accepting words with infinitely many 'a': two states tracking the last
+// symbol, pair (∅, {0}) with state 0 = "just read a".
+func infinitelyManyA() *Streett {
+	a := NewStreett("infA", 2, abAlphabet)
+	a.Init = 1
+	a.AddTrans(0, "a", 0)
+	a.AddTrans(0, "b", 1)
+	a.AddTrans(1, "a", 0)
+	a.AddTrans(1, "b", 1)
+	a.AddPair("inf-a", nil, []int{0})
+	return a
+}
+
+// eventuallyOnlyB accepts words that are eventually all 'b':
+// pair (U = {1}, V = ∅) — inf(run) ⊆ {1} where 1 = "just read b".
+func eventuallyOnlyB() *Streett {
+	a := NewStreett("evB", 2, abAlphabet)
+	a.Init = 1
+	a.AddTrans(0, "a", 0)
+	a.AddTrans(0, "b", 1)
+	a.AddTrans(1, "a", 0)
+	a.AddTrans(1, "b", 1)
+	a.AddPair("fin-a", []int{1}, nil)
+	return a
+}
+
+// allWords accepts everything.
+func allWords() *Streett {
+	a := NewStreett("all", 1, abAlphabet)
+	a.AddTrans(0, "a", 0)
+	a.AddTrans(0, "b", 0)
+	a.AddPair("trivial", []int{0}, nil)
+	return a
+}
+
+func w(prefix, cycle string) Word {
+	conv := func(s string) []int {
+		var out []int
+		for _, c := range s {
+			if c == 'a' {
+				out = append(out, 0)
+			} else {
+				out = append(out, 1)
+			}
+		}
+		return out
+	}
+	return Word{Prefix: conv(prefix), Cycle: conv(cycle)}
+}
+
+func TestAcceptsDeterministic(t *testing.T) {
+	infA := infinitelyManyA()
+	cases := []struct {
+		word Word
+		want bool
+	}{
+		{w("", "a"), true},
+		{w("b", "ab"), true},
+		{w("a", "b"), false},
+		{w("aaab", "b"), false},
+		{w("", "ba"), true},
+	}
+	for _, c := range cases {
+		got, err := infA.Accepts(c.word)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("infA accepts %s = %v, want %v", c.word.Format(abAlphabet), got, c.want)
+		}
+	}
+
+	evB := eventuallyOnlyB()
+	cases2 := []struct {
+		word Word
+		want bool
+	}{
+		{w("", "b"), true},
+		{w("aaaa", "b"), true},
+		{w("", "ab"), false},
+		{w("b", "a"), false},
+	}
+	for _, c := range cases2 {
+		got, err := evB.Accepts(c.word)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("evB accepts %s = %v, want %v", c.word.Format(abAlphabet), got, c.want)
+		}
+	}
+}
+
+func TestAcceptsNondeterministic(t *testing.T) {
+	// Nondeterministic automaton: guess the point after which only b
+	// occurs; accepting iff eventually only b. States: 0 = guessing
+	// (U? no), 1 = committed (must see only b).
+	a := NewStreett("guess", 2, abAlphabet)
+	a.Init = 0
+	a.AddTrans(0, "a", 0)
+	a.AddTrans(0, "b", 0)
+	a.AddTrans(0, "b", 1) // guess: from now on only b
+	a.AddTrans(1, "b", 1)
+	// state 1 has no 'a' transition: incomplete on purpose; complete it
+	a.AddPair("committed", []int{1}, nil)
+	a.MakeComplete()
+	if !a.IsComplete() {
+		t.Fatal("MakeComplete failed")
+	}
+	cases := []struct {
+		word Word
+		want bool
+	}{
+		{w("", "b"), true},
+		{w("aab", "b"), true},
+		{w("", "ab"), false},
+		{w("", "a"), false},
+	}
+	for _, c := range cases {
+		got, err := a.Accepts(c.word)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("guess accepts %s = %v, want %v", c.word.Format(abAlphabet), got, c.want)
+		}
+	}
+}
+
+func TestAcceptsEmptyCycleErrors(t *testing.T) {
+	a := allWords()
+	if _, err := a.Accepts(Word{Prefix: []int{0}}); err == nil {
+		t.Fatal("empty cycle must error")
+	}
+}
+
+func TestDeterminismAndCompleteness(t *testing.T) {
+	a := infinitelyManyA()
+	if !a.IsDeterministic() || !a.IsComplete() {
+		t.Fatal("infA should be det+complete")
+	}
+	n := NewStreett("n", 2, abAlphabet)
+	n.AddTrans(0, "a", 0)
+	n.AddTrans(0, "a", 1)
+	if n.IsDeterministic() {
+		t.Fatal("should be nondeterministic")
+	}
+	if n.IsComplete() {
+		t.Fatal("should be incomplete")
+	}
+}
+
+func TestMakeCompleteRejectsSinkRuns(t *testing.T) {
+	// automaton accepting (ab)^ω exactly, incomplete; after completion
+	// any deviating word must be rejected.
+	a := NewStreett("abOmega", 2, abAlphabet)
+	a.Init = 0
+	a.AddTrans(0, "a", 1)
+	a.AddTrans(1, "b", 0)
+	a.AddPair("live", []int{0, 1}, nil)
+	a.MakeComplete()
+	ok, err := a.Accepts(w("", "ab"))
+	if err != nil || !ok {
+		t.Fatalf("should accept (ab)^ω: %v %v", ok, err)
+	}
+	ok, err = a.Accepts(w("", "a"))
+	if err != nil || ok {
+		t.Fatalf("should reject a^ω: %v %v", ok, err)
+	}
+}
+
+func TestContainmentHolds(t *testing.T) {
+	// L(evB) ⊆ L(all)
+	res, err := CheckContainment(eventuallyOnlyB(), allWords())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Contained {
+		t.Fatal("evB ⊆ all must hold")
+	}
+}
+
+func TestContainmentFails(t *testing.T) {
+	// L(all) ⊄ L(infA): b^ω is a counterexample.
+	res, err := CheckContainment(allWords(), infinitelyManyA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Contained {
+		t.Fatal("all ⊆ infA must fail")
+	}
+	// the counterexample word must be accepted by K and rejected by K'.
+	k, kp := allWords(), infinitelyManyA()
+	accK, err := k.Accepts(res.Word)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accKp, err := kp.Accepts(res.Word)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !accK || accKp {
+		t.Fatalf("counterexample word %s: K=%v K'=%v", res.Word.Format(abAlphabet), accK, accKp)
+	}
+}
+
+func TestContainmentDisjointLanguages(t *testing.T) {
+	// infA vs evB: disjoint-ish; infA ⊄ evB (a^ω in infA, not evB).
+	res, err := CheckContainment(infinitelyManyA(), eventuallyOnlyB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Contained {
+		t.Fatal("infA ⊆ evB must fail")
+	}
+	accK, _ := infinitelyManyA().Accepts(res.Word)
+	accKp, _ := eventuallyOnlyB().Accepts(res.Word)
+	if !accK || accKp {
+		t.Fatalf("bad counterexample %s", res.Word.Format(abAlphabet))
+	}
+	// and the converse holds? evB ⊆ infA? no: b^ω ∈ evB but ∉ infA.
+	res2, err := CheckContainment(eventuallyOnlyB(), infinitelyManyA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Contained {
+		t.Fatal("evB ⊆ infA must fail (b^ω)")
+	}
+}
+
+func TestContainmentSelf(t *testing.T) {
+	for _, mk := range []func() *Streett{infinitelyManyA, eventuallyOnlyB, allWords} {
+		a, b := mk(), mk()
+		res, err := CheckContainment(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Contained {
+			t.Fatalf("L(%s) ⊆ L(%s) must hold", a.Name, b.Name)
+		}
+	}
+}
+
+func TestContainmentNondeterministicImpl(t *testing.T) {
+	// Nondeterministic K (guess eventually-only-b) against deterministic
+	// spec evB: languages equal, containment holds.
+	k := NewStreett("guess", 2, abAlphabet)
+	k.Init = 0
+	k.AddTrans(0, "a", 0)
+	k.AddTrans(0, "b", 0)
+	k.AddTrans(0, "b", 1)
+	k.AddTrans(1, "b", 1)
+	k.AddPair("committed", []int{1}, nil)
+	k.MakeComplete()
+	res, err := CheckContainment(k, eventuallyOnlyB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Contained {
+		t.Fatalf("guess ⊆ evB must hold, counterexample %s", res.Word.Format(abAlphabet))
+	}
+	// against infA it must fail (b^ω).
+	res2, err := CheckContainment(k, infinitelyManyA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Contained {
+		t.Fatal("guess ⊆ infA must fail")
+	}
+}
+
+func TestContainmentRequiresDeterministicSpec(t *testing.T) {
+	k := allWords()
+	nd := NewStreett("nd", 2, abAlphabet)
+	nd.AddTrans(0, "a", 0)
+	nd.AddTrans(0, "a", 1)
+	nd.AddTrans(0, "b", 0)
+	nd.AddTrans(1, "a", 1)
+	nd.AddTrans(1, "b", 1)
+	nd.AddPair("p", []int{0, 1}, nil)
+	if _, err := CheckContainment(k, nd); err == nil {
+		t.Fatal("nondeterministic spec must be rejected")
+	}
+}
+
+func TestFromBuchi(t *testing.T) {
+	a := FromBuchi("buchi", 2, abAlphabet, 1, []int{0})
+	a.AddTrans(0, "a", 0)
+	a.AddTrans(0, "b", 1)
+	a.AddTrans(1, "a", 0)
+	a.AddTrans(1, "b", 1)
+	ok, err := a.Accepts(w("", "a"))
+	if err != nil || !ok {
+		t.Fatal("Büchi conversion broken (accept)")
+	}
+	ok, err = a.Accepts(w("a", "b"))
+	if err != nil || ok {
+		t.Fatal("Büchi conversion broken (reject)")
+	}
+}
+
+func TestWordFormat(t *testing.T) {
+	word := w("ab", "ba")
+	got := word.Format(abAlphabet)
+	if !strings.Contains(got, "a b ( b a )") {
+		t.Fatalf("Format = %q", got)
+	}
+}
+
+func TestProductSymbols(t *testing.T) {
+	p, err := NewProduct(allWords(), infinitelyManyA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.States) == 0 {
+		t.Fatal("empty product")
+	}
+	// every recorded edge must have at least one symbol
+	for key, syms := range p.Syms {
+		if len(syms) == 0 {
+			t.Fatalf("edge %v without symbols", key)
+		}
+	}
+}

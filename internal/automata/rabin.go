@@ -1,0 +1,248 @@
+package automata
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ctl"
+	"repro/internal/ctlstar"
+	"repro/internal/kripke"
+	"repro/internal/mc"
+)
+
+// Section 8 closes with: "Counterexamples for the language inclusion
+// problems of Büchi, Muller, Rabin, and L automata can be found in
+// essentially the same way." This file implements that remark for Rabin
+// and Muller specifications (Büchi being the one-pair Rabin special
+// case): the negated acceptance of the deterministic specification is
+// again a conjunction of (GF ∨ FG) clauses, so the same Section 7
+// machinery checks the product and extracts the counterexample word.
+
+// RabinAccepts decides whether the automaton — with its pairs read
+// under RABIN semantics: a run is accepted iff for SOME pair (U,V),
+// inf(r) ∩ U = ∅ and inf(r) ∩ V ≠ ∅ — accepts the ultimately periodic
+// word. Nondeterminism is handled by SCC search on the word product.
+func (a *Streett) RabinAccepts(w Word) (bool, error) {
+	if len(w.Cycle) == 0 {
+		return false, errors.New("automata: word must have a nonempty cycle")
+	}
+	total := len(w.Prefix) + len(w.Cycle)
+	symAt := func(pos int) int {
+		if pos < len(w.Prefix) {
+			return w.Prefix[pos]
+		}
+		return w.Cycle[pos-len(w.Prefix)]
+	}
+	nextPos := func(pos int) int {
+		pos++
+		if pos >= total {
+			pos = len(w.Prefix)
+		}
+		return pos
+	}
+	n := a.NumState * total
+	succ := make([][]int, n)
+	for q := 0; q < a.NumState; q++ {
+		for pos := 0; pos < total; pos++ {
+			id := q*total + pos
+			for _, t := range a.Trans[q][symAt(pos)] {
+				succ[id] = append(succ[id], t*total+nextPos(pos))
+			}
+		}
+	}
+	start := a.Init * total
+	reach := make([]bool, n)
+	stack := []int{start}
+	reach[start] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, u := range succ[v] {
+			if !reach[u] {
+				reach[u] = true
+				stack = append(stack, u)
+			}
+		}
+	}
+	// For each pair: restrict to states outside U, look for a reachable
+	// nontrivial SCC containing a V-state.
+	for _, pair := range a.Accept {
+		sub := make([]bool, n)
+		for v := 0; v < n; v++ {
+			sub[v] = reach[v] && !pair.U[v/total]
+		}
+		for _, comp := range sccList(succ, sub) {
+			if !nontrivial(succ, comp, sub) {
+				continue
+			}
+			for _, v := range comp {
+				if pair.V[v/total] {
+					return true, nil
+				}
+			}
+		}
+	}
+	return false, nil
+}
+
+// Muller is an ω-automaton with a Muller acceptance table: a run is
+// accepted iff inf(r) is EXACTLY one of the table's state sets. The
+// embedded Streett carries the transition structure; its Accept pairs
+// are ignored.
+type Muller struct {
+	*Streett
+	Table [][]bool
+}
+
+// NewMuller wraps a transition structure with a Muller table.
+func NewMuller(base *Streett, sets ...[]int) *Muller {
+	m := &Muller{Streett: base}
+	for _, set := range sets {
+		row := make([]bool, base.NumState)
+		for _, q := range set {
+			row[q] = true
+		}
+		m.Table = append(m.Table, row)
+	}
+	return m
+}
+
+// Accepts decides word acceptance for a DETERMINISTIC Muller automaton
+// by running the unique run until the (state, cycle-position) pair
+// repeats and reading off the infinity set.
+func (m *Muller) Accepts(w Word) (bool, error) {
+	if !m.IsDeterministic() || !m.IsComplete() {
+		return false, errors.New("automata: Muller acceptance requires a deterministic complete automaton")
+	}
+	if len(w.Cycle) == 0 {
+		return false, errors.New("automata: word must have a nonempty cycle")
+	}
+	q := m.Init
+	for _, sym := range w.Prefix {
+		q = m.Trans[q][sym][0]
+	}
+	type key struct{ q, pos int }
+	firstSeen := map[key]int{}
+	var visits []int
+	step := 0
+	pos := 0
+	for {
+		k := key{q, pos}
+		if at, ok := firstSeen[k]; ok {
+			// states visited from `at` onward recur forever
+			inf := make([]bool, m.NumState)
+			for _, v := range visits[at:] {
+				inf[v] = true
+			}
+			for _, row := range m.Table {
+				same := true
+				for i := range row {
+					if row[i] != inf[i] {
+						same = false
+						break
+					}
+				}
+				if same {
+					return true, nil
+				}
+			}
+			return false, nil
+		}
+		firstSeen[k] = step
+		visits = append(visits, q)
+		q = m.Trans[q][w.Cycle[pos]][0]
+		pos = (pos + 1) % len(w.Cycle)
+		step++
+	}
+}
+
+// CheckContainmentRabin decides L(K) ⊆ L(K′) for a nondeterministic
+// Streett implementation K and a deterministic complete RABIN
+// specification K′. The negated Rabin acceptance
+// ⋀_j (GF U′_j ∨ FG ¬V′_j) is one fragment formula, so a single check
+// suffices.
+func CheckContainmentRabin(k, kp *Streett) (*ContainResult, error) {
+	if !kp.IsDeterministic() {
+		return nil, errors.New("automata: specification automaton must be deterministic")
+	}
+	if !k.IsComplete() || !kp.IsComplete() {
+		return nil, errors.New("automata: both automata must be complete (use MakeComplete)")
+	}
+	p, err := NewProduct(k, kp)
+	if err != nil {
+		return nil, err
+	}
+	var f ctlstar.Formula
+	for pi := range k.Accept {
+		f = append(f, ctlstar.Clause{
+			ctlstar.FGTerm(ctl.Atom(fmt.Sprintf("U%d", pi))),
+			ctlstar.GFTerm(ctl.Atom(fmt.Sprintf("V%d", pi))),
+		})
+	}
+	for pj := range kp.Accept {
+		f = append(f, ctlstar.Clause{
+			ctlstar.GFTerm(ctl.Atom(fmt.Sprintf("Us%d", pj))),
+			ctlstar.FGTerm(ctl.Not(ctl.Atom(fmt.Sprintf("Vs%d", pj)))),
+		})
+	}
+	return p.decideViolation(f, 0)
+}
+
+// CheckContainmentMuller decides L(K) ⊆ L(K′) for a nondeterministic
+// Streett K and a deterministic complete Muller specification K′. The
+// negated Muller acceptance is the conjunction over table rows S of
+// (⋁_{s∈S} FG ¬s ∨ ⋁_{s∉S} GF s).
+func CheckContainmentMuller(k *Streett, kp *Muller) (*ContainResult, error) {
+	if !kp.IsDeterministic() {
+		return nil, errors.New("automata: specification automaton must be deterministic")
+	}
+	if !k.IsComplete() || !kp.IsComplete() {
+		return nil, errors.New("automata: both automata must be complete (use MakeComplete)")
+	}
+	p, err := NewProduct(k, kp.Streett)
+	if err != nil {
+		return nil, err
+	}
+	var f ctlstar.Formula
+	for pi := range k.Accept {
+		f = append(f, ctlstar.Clause{
+			ctlstar.FGTerm(ctl.Atom(fmt.Sprintf("U%d", pi))),
+			ctlstar.GFTerm(ctl.Atom(fmt.Sprintf("V%d", pi))),
+		})
+	}
+	for _, row := range kp.Table {
+		var cl ctlstar.Clause
+		for q := 0; q < kp.NumState; q++ {
+			if row[q] {
+				cl = append(cl, ctlstar.FGTerm(ctl.Not(ctl.Atom(fmt.Sprintf("Sq%d", q)))))
+			} else {
+				cl = append(cl, ctlstar.GFTerm(ctl.Atom(fmt.Sprintf("Sq%d", q))))
+			}
+		}
+		f = append(f, cl)
+	}
+	return p.decideViolation(f, 0)
+}
+
+// decideViolation checks one violation formula on the product and, when
+// satisfied at the initial state, extracts the counterexample word.
+func (p *Product) decideViolation(f ctlstar.Formula, violatedPair int) (*ContainResult, error) {
+	sc := ctlstar.New(mc.New(p.Sym))
+	init := kripke.IndexState(0, p.bits)
+	set, err := sc.Check(f)
+	if err != nil {
+		return nil, err
+	}
+	if !p.Sym.Holds(set, init) {
+		return &ContainResult{Contained: true}, nil
+	}
+	tr, err := sc.Witness(f, init)
+	if err != nil {
+		return nil, fmt.Errorf("automata: witness extraction: %w", err)
+	}
+	w, err := p.TraceWord(tr)
+	if err != nil {
+		return nil, err
+	}
+	return &ContainResult{Contained: false, ViolatedPair: violatedPair, Trace: tr, Word: w}, nil
+}

@@ -1,0 +1,228 @@
+package automata
+
+import "testing"
+
+// tracker is the two-state last-symbol tracker over {a,b}: state 0 =
+// just read a, state 1 = just read b (also initial).
+func tracker() *Streett {
+	a := NewStreett("tracker", 2, abAlphabet)
+	a.Init = 1
+	a.AddTrans(0, "a", 0)
+	a.AddTrans(0, "b", 1)
+	a.AddTrans(1, "a", 0)
+	a.AddTrans(1, "b", 1)
+	return a
+}
+
+func TestRabinAccepts(t *testing.T) {
+	// Rabin pair (U={1}, V={0}): accept iff inf avoids state 1 and
+	// visits state 0, i.e. eventually only 'a'.
+	a := tracker()
+	a.AddPair("ev-only-a", []int{1}, []int{0})
+	cases := []struct {
+		word Word
+		want bool
+	}{
+		{w("", "a"), true},
+		{w("bbb", "a"), true},
+		{w("", "ab"), false},
+		{w("a", "b"), false},
+	}
+	for _, c := range cases {
+		got, err := a.RabinAccepts(c.word)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("Rabin accepts %s = %v, want %v", c.word.Format(abAlphabet), got, c.want)
+		}
+	}
+}
+
+func TestRabinAcceptsNondeterministic(t *testing.T) {
+	// guess-based: state 0 guessing, state 1 committed-to-only-b; Rabin
+	// pair (U={0}, V={1}) — avoid guessing forever, visit committed.
+	a := NewStreett("guess", 2, abAlphabet)
+	a.Init = 0
+	a.AddTrans(0, "a", 0)
+	a.AddTrans(0, "b", 0)
+	a.AddTrans(0, "b", 1)
+	a.AddTrans(1, "b", 1)
+	a.AddPair("committed", []int{0}, []int{1})
+	a.MakeComplete()
+	got, err := a.RabinAccepts(w("aa", "b"))
+	if err != nil || !got {
+		t.Fatalf("should accept aab^ω: %v %v", got, err)
+	}
+	got, err = a.RabinAccepts(w("", "ab"))
+	if err != nil || got {
+		t.Fatalf("should reject (ab)^ω: %v %v", got, err)
+	}
+}
+
+func TestMullerAccepts(t *testing.T) {
+	// Muller table {{0,1}}: accept iff inf = {0,1} — both letters occur
+	// infinitely often.
+	m := NewMuller(tracker(), []int{0, 1})
+	cases := []struct {
+		word Word
+		want bool
+	}{
+		{w("", "ab"), true},
+		{w("bbb", "ba"), true},
+		{w("", "a"), false},
+		{w("ab", "b"), false},
+	}
+	for _, c := range cases {
+		got, err := m.Accepts(c.word)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("Muller accepts %s = %v, want %v", c.word.Format(abAlphabet), got, c.want)
+		}
+	}
+}
+
+func TestMullerRequiresDeterministic(t *testing.T) {
+	a := NewStreett("nd", 1, abAlphabet)
+	a.AddTrans(0, "a", 0)
+	// incomplete: no b transition
+	m := NewMuller(a, []int{0})
+	if _, err := m.Accepts(w("", "a")); err == nil {
+		t.Fatal("incomplete automaton must be rejected")
+	}
+}
+
+func TestContainmentRabinSpec(t *testing.T) {
+	// Spec (Rabin): eventually only 'a' — pair (U={1}, V={0}).
+	spec := tracker()
+	spec.AddPair("ev-only-a", []int{1}, []int{0})
+	// K1: the language "eventually only a" expressed as Streett
+	// (inf ⊆ {0}) — contained.
+	k1 := tracker()
+	k1.AddPair("fin-b", []int{0}, nil)
+	res, err := CheckContainmentRabin(k1, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Contained {
+		t.Fatalf("evA ⊆ evA(Rabin) must hold; counterexample %s", res.Word.Format(abAlphabet))
+	}
+	// K2: all words — not contained; word must be verified.
+	k2 := allWords()
+	res, err = CheckContainmentRabin(k2, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Contained {
+		t.Fatal("all ⊆ evA(Rabin) must fail")
+	}
+	accK, err := k2.Accepts(res.Word)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accSpec, err := spec.RabinAccepts(res.Word)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !accK || accSpec {
+		t.Fatalf("bad counterexample %s: K=%v spec=%v", res.Word.Format(abAlphabet), accK, accSpec)
+	}
+}
+
+func TestContainmentBuchiAsRabin(t *testing.T) {
+	// Büchi spec "infinitely many a" = Rabin pair (∅, {0}).
+	spec := tracker()
+	spec.AddPair("buchi-infA", nil, []int{0})
+	// K: (ab)^ω-ish — the tracker with Streett pair forcing both states
+	// infinitely often... simpler: K = infinitely many a as Streett.
+	k := tracker()
+	k.AddPair("inf-a", nil, []int{0})
+	res, err := CheckContainmentRabin(k, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Contained {
+		t.Fatalf("infA ⊆ infA(Büchi) must hold; cex %s", res.Word.Format(abAlphabet))
+	}
+	// all words ⊄ Büchi infA: b^ω.
+	res, err = CheckContainmentRabin(allWords(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Contained {
+		t.Fatal("all ⊆ infA(Büchi) must fail")
+	}
+	accSpec, _ := spec.RabinAccepts(res.Word)
+	if accSpec {
+		t.Fatalf("counterexample %s accepted by spec", res.Word.Format(abAlphabet))
+	}
+}
+
+func TestContainmentMullerSpec(t *testing.T) {
+	// Muller spec: inf = {0,1} (both letters infinitely often).
+	spec := NewMuller(tracker(), []int{0, 1})
+	// K1: Streett automaton for "a infinitely often AND b infinitely
+	// often": pairs (∅,{0}) and (∅,{1}) — contained.
+	k1 := tracker()
+	k1.AddPair("inf-a", nil, []int{0})
+	k1.AddPair("inf-b", nil, []int{1})
+	res, err := CheckContainmentMuller(k1, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Contained {
+		t.Fatalf("both-inf ⊆ Muller{0,1} must hold; cex %s", res.Word.Format(abAlphabet))
+	}
+	// K2: all words — a^ω violates.
+	res, err = CheckContainmentMuller(allWords(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Contained {
+		t.Fatal("all ⊆ Muller{0,1} must fail")
+	}
+	accK, err := allWords().Accepts(res.Word)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accSpec, err := spec.Accepts(res.Word)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !accK || accSpec {
+		t.Fatalf("bad Muller counterexample %s: K=%v spec=%v", res.Word.Format(abAlphabet), accK, accSpec)
+	}
+}
+
+func TestContainmentMullerMultipleSets(t *testing.T) {
+	// Muller table {{0},{1}}: inf is exactly {0} or exactly {1} —
+	// eventually constant words.
+	spec := NewMuller(tracker(), []int{0}, []int{1})
+	// K: eventually only b (Streett: inf ⊆ {1}) — contained.
+	k := tracker()
+	k.AddPair("fin-a", []int{1}, nil)
+	res, err := CheckContainmentMuller(k, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Contained {
+		t.Fatalf("evB ⊆ Muller{{0},{1}} must hold; cex %s", res.Word.Format(abAlphabet))
+	}
+	// all words: (ab)^ω violates.
+	res, err = CheckContainmentMuller(allWords(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Contained {
+		t.Fatal("all ⊆ eventually-constant must fail")
+	}
+	accSpec, err := spec.Accepts(res.Word)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accSpec {
+		t.Fatalf("counterexample %s accepted by Muller spec", res.Word.Format(abAlphabet))
+	}
+}

@@ -1,0 +1,135 @@
+package bdd
+
+// This file implements the boolean connectives. Everything reduces to
+// the if-then-else operator ITE(f,g,h) = (f ∧ g) ∨ (¬f ∧ h), memoized in
+// a direct-mapped computed cache. The complexity of each binary
+// operation is O(|f|·|g|) as stated in Section 2 of the paper.
+
+// Ite computes if-then-else: (f ∧ g) ∨ (¬f ∧ h).
+func (m *Manager) Ite(f, g, h Ref) Ref {
+	m.checkRef(f)
+	m.checkRef(g)
+	m.checkRef(h)
+	return m.ite3(f, g, h)
+}
+
+func (m *Manager) ite3(f, g, h Ref) Ref {
+	m.Stats.ITECalls++
+	// Terminal and trivial cases.
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	}
+	// Normalization: ITE(f,g,h) with g == f can use True; h == f can use False.
+	if g == f {
+		g = True
+	}
+	if h == f {
+		h = False
+	}
+	if g == True && h == False {
+		return f
+	}
+
+	m.Stats.CacheLookups++
+	slot := cacheIndex(uint32(f), uint32(g), uint32(h), 0x17e, iteCacheSize)
+	if e := &m.ite[slot]; e.valid && e.f == f && e.g == g && e.h == h {
+		m.Stats.CacheHits++
+		return e.res
+	}
+
+	lf, lg, lh := m.level(f), m.level(g), m.level(h)
+	top := lf
+	if lg < top {
+		top = lg
+	}
+	if lh < top {
+		top = lh
+	}
+
+	f0, f1 := m.cofactors(f, lf, top)
+	g0, g1 := m.cofactors(g, lg, top)
+	h0, h1 := m.cofactors(h, lh, top)
+
+	low := m.ite3(f0, g0, h0)
+	high := m.ite3(f1, g1, h1)
+	res := m.mk(top, low, high)
+
+	m.ite[slot] = iteEntry{f: f, g: g, h: h, res: res, valid: true}
+	return res
+}
+
+// cofactors returns the (low, high) cofactors of f with respect to the
+// variable at level top, given that f's own level is lf.
+func (m *Manager) cofactors(f Ref, lf, top uint32) (Ref, Ref) {
+	if lf != top {
+		return f, f
+	}
+	n := &m.nodes[f]
+	return n.low, n.high
+}
+
+// Not returns the complement ¬f.
+func (m *Manager) Not(f Ref) Ref { return m.Ite(f, False, True) }
+
+// And returns f ∧ g.
+func (m *Manager) And(f, g Ref) Ref { return m.Ite(f, g, False) }
+
+// Or returns f ∨ g.
+func (m *Manager) Or(f, g Ref) Ref { return m.Ite(f, True, g) }
+
+// Xor returns f ⊕ g.
+func (m *Manager) Xor(f, g Ref) Ref { return m.Ite(f, m.Not(g), g) }
+
+// Eq returns f ↔ g (exclusive-nor).
+func (m *Manager) Eq(f, g Ref) Ref { return m.Ite(f, g, m.Not(g)) }
+
+// Imp returns f → g.
+func (m *Manager) Imp(f, g Ref) Ref { return m.Ite(f, g, True) }
+
+// Diff returns f ∧ ¬g.
+func (m *Manager) Diff(f, g Ref) Ref { return m.Ite(g, False, f) }
+
+// Nand returns ¬(f ∧ g).
+func (m *Manager) Nand(f, g Ref) Ref { return m.Not(m.And(f, g)) }
+
+// Nor returns ¬(f ∨ g).
+func (m *Manager) Nor(f, g Ref) Ref { return m.Not(m.Or(f, g)) }
+
+// AndN returns the conjunction of all arguments (True when empty).
+func (m *Manager) AndN(fs ...Ref) Ref {
+	res := True
+	for _, f := range fs {
+		res = m.And(res, f)
+		if res == False {
+			return False
+		}
+	}
+	return res
+}
+
+// OrN returns the disjunction of all arguments (False when empty).
+func (m *Manager) OrN(fs ...Ref) Ref {
+	res := False
+	for _, f := range fs {
+		res = m.Or(res, f)
+		if res == True {
+			return True
+		}
+	}
+	return res
+}
+
+// Implies reports whether f → g is a tautology, i.e. the state set f is
+// contained in g. Thanks to canonicity this is a single ITE plus a
+// comparison against True.
+func (m *Manager) Implies(f, g Ref) bool { return m.Imp(f, g) == True }
+
+// Disjoint reports whether f ∧ g is unsatisfiable.
+func (m *Manager) Disjoint(f, g Ref) bool { return m.And(f, g) == False }

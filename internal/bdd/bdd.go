@@ -1,0 +1,350 @@
+// Package bdd implements reduced ordered binary decision diagrams (OBDDs)
+// as described in Section 2 of Clarke, Grumberg, McMillan and Zhao,
+// "Efficient Generation of Counterexamples and Witnesses in Symbolic Model
+// Checking" (CMU-CS-94-204 / DAC 1995), following Bryant's original
+// construction.
+//
+// Nodes live in a growable arena and are addressed by compact Ref handles.
+// For a fixed variable order the representation is canonical: two Refs from
+// the same Manager are equal if and only if they denote the same boolean
+// function, so equivalence checking is a single integer comparison.
+//
+// The package provides the operations the symbolic model checker needs:
+// the 16 two-argument boolean connectives (via ITE), restriction,
+// existential and universal quantification, the combined relational
+// product AndExists, variable permutation (current-state/next-state
+// renaming), satisfying-assignment extraction, model counting, garbage
+// collection and variable reordering.
+package bdd
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Ref is a handle to a BDD node within a particular Manager. The zero
+// value is the constant false function.
+type Ref uint32
+
+// Terminal nodes. They are shared by construction: every Manager places
+// false at index 0 and true at index 1.
+const (
+	False Ref = 0
+	True  Ref = 1
+)
+
+// terminalLevel is the level assigned to the two terminal nodes. It
+// compares greater than every variable level, which lets the recursive
+// operations treat terminals uniformly.
+const terminalLevel uint32 = 0x7fffffff
+
+// markBit is or-ed into a node's level during garbage collection.
+const markBit uint32 = 0x80000000
+
+// node is a single decision node: if the variable at lvl is false the
+// function continues at low, otherwise at high. next chains nodes in the
+// unique-table hash buckets.
+type node struct {
+	lvl  uint32
+	low  Ref
+	high Ref
+	next uint32
+}
+
+// Manager owns an arena of BDD nodes, the unique table that enforces
+// canonicity, and the operation caches. A Manager is not safe for
+// concurrent use.
+type Manager struct {
+	nodes []node
+
+	// unique table: open hash with per-node chaining through node.next.
+	buckets []uint32
+	mask    uint32
+
+	free     uint32 // head of the free list (0 = empty; terminals never freed)
+	numFree  int
+	numAlloc int // live node count including terminals
+
+	// variable order: var2level[v] is the level of variable v.
+	var2level []int
+	level2var []int
+
+	ite   []iteEntry
+	binop []binEntry
+	aex   []aexEntry // lazily allocated by AndExists
+
+	perms []*Permutation // registered variable permutations
+
+	roots map[Ref]int // protected external references
+
+	gcThreshold int // run GC opportunistically above this many live nodes
+
+	// Stats accumulates counters since the Manager was created.
+	Stats Stats
+}
+
+// Stats records operation counters for benchmarking and regression tests.
+type Stats struct {
+	ITECalls     uint64
+	CacheHits    uint64
+	CacheLookups uint64
+	GCRuns       uint64
+	NodesFreed   uint64
+	Reorderings  uint64
+}
+
+type iteEntry struct {
+	f, g, h Ref
+	res     Ref
+	valid   bool
+}
+
+type binEntry struct {
+	op   uint32
+	f, g Ref
+	res  Ref
+}
+
+// Cache/bucket sizing.
+const (
+	initialBuckets = 1 << 12
+	iteCacheSize   = 1 << 16
+	binCacheSize   = 1 << 16
+)
+
+// New creates a Manager with numVars variables, numbered 0..numVars-1.
+// The initial variable order is the identity (variable i at level i).
+// More variables may be added later with AddVar.
+func New(numVars int) *Manager {
+	if numVars < 0 {
+		panic("bdd: negative variable count")
+	}
+	m := &Manager{
+		buckets:     make([]uint32, initialBuckets),
+		mask:        initialBuckets - 1,
+		ite:         make([]iteEntry, iteCacheSize),
+		binop:       make([]binEntry, binCacheSize),
+		roots:       make(map[Ref]int),
+		gcThreshold: 1 << 20,
+	}
+	m.nodes = make([]node, 2, 1024)
+	m.nodes[0] = node{lvl: terminalLevel, low: False, high: False}
+	m.nodes[1] = node{lvl: terminalLevel, low: True, high: True}
+	m.numAlloc = 2
+	for i := 0; i < numVars; i++ {
+		m.AddVar()
+	}
+	return m
+}
+
+// AddVar appends a fresh variable at the bottom of the current order and
+// returns its index.
+func (m *Manager) AddVar() int {
+	v := len(m.var2level)
+	m.var2level = append(m.var2level, v)
+	m.level2var = append(m.level2var, v)
+	return v
+}
+
+// NumVars returns the number of variables managed.
+func (m *Manager) NumVars() int { return len(m.var2level) }
+
+// NumNodes returns the number of live nodes, including the two terminals.
+func (m *Manager) NumNodes() int { return m.numAlloc }
+
+// LevelOf returns the current level of variable v.
+func (m *Manager) LevelOf(v int) int { return m.var2level[v] }
+
+// VarAtLevel returns the variable currently placed at the given level.
+func (m *Manager) VarAtLevel(l int) int { return m.level2var[l] }
+
+// Order returns a copy of the current variable order: element i is the
+// variable at level i.
+func (m *Manager) Order() []int {
+	out := make([]int, len(m.level2var))
+	copy(out, m.level2var)
+	return out
+}
+
+// Var returns the BDD of the single variable v.
+func (m *Manager) Var(v int) Ref {
+	return m.mk(uint32(m.var2level[v]), False, True)
+}
+
+// NVar returns the BDD of the negation of variable v.
+func (m *Manager) NVar(v int) Ref {
+	return m.mk(uint32(m.var2level[v]), True, False)
+}
+
+// Lit returns Var(v) if pos, NVar(v) otherwise.
+func (m *Manager) Lit(v int, pos bool) Ref {
+	if pos {
+		return m.Var(v)
+	}
+	return m.NVar(v)
+}
+
+// IsTerminal reports whether f is one of the two constant functions.
+func IsTerminal(f Ref) bool { return f <= True }
+
+// level returns the level of f with the GC mark bit stripped.
+func (m *Manager) level(f Ref) uint32 { return m.nodes[f].lvl &^ markBit }
+
+// Level returns the level of the top variable of f, or a value greater
+// than any variable level if f is a terminal.
+func (m *Manager) Level(f Ref) int { return int(m.level(f)) }
+
+// TopVar returns the variable tested at the root of f. It panics on
+// terminals.
+func (m *Manager) TopVar(f Ref) int {
+	if IsTerminal(f) {
+		panic("bdd: TopVar of terminal")
+	}
+	return m.level2var[m.level(f)]
+}
+
+// Low returns the else-branch (variable false) of f.
+func (m *Manager) Low(f Ref) Ref { return m.nodes[f].low }
+
+// High returns the then-branch (variable true) of f.
+func (m *Manager) High(f Ref) Ref { return m.nodes[f].high }
+
+// hash mixes the triple identifying a node into a bucket index.
+func (m *Manager) hash(lvl uint32, low, high Ref) uint32 {
+	x := uint64(lvl)*0x9e3779b97f4a7c15 ^ uint64(low)*0xbf58476d1ce4e5b9 ^ uint64(high)*0x94d049bb133111eb
+	x ^= x >> 29
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 32
+	return uint32(x) & m.mask
+}
+
+// mk returns the canonical node (lvl, low, high), applying the reduction
+// rules: equal children collapse, and structurally identical nodes are
+// shared through the unique table.
+func (m *Manager) mk(lvl uint32, low, high Ref) Ref {
+	if low == high {
+		return low
+	}
+	b := m.hash(lvl, low, high)
+	for i := m.buckets[b]; i != 0; i = m.nodes[i].next {
+		n := &m.nodes[i]
+		if n.lvl&^markBit == lvl && n.low == low && n.high == high {
+			return Ref(i)
+		}
+	}
+	var idx uint32
+	if m.free != 0 {
+		idx = m.free
+		m.free = m.nodes[idx].next
+		m.numFree--
+	} else {
+		idx = uint32(len(m.nodes))
+		m.nodes = append(m.nodes, node{})
+	}
+	m.nodes[idx] = node{lvl: lvl, low: low, high: high, next: m.buckets[b]}
+	m.buckets[b] = idx
+	m.numAlloc++
+	if m.numAlloc > len(m.buckets)*3 {
+		m.growBuckets()
+	}
+	return Ref(idx)
+}
+
+// growBuckets doubles the unique table and rehashes every live node.
+func (m *Manager) growBuckets() {
+	newSize := len(m.buckets) * 2
+	m.buckets = make([]uint32, newSize)
+	m.mask = uint32(newSize - 1)
+	m.rehashAll()
+}
+
+// rehashAll rebuilds the unique-table chains from scratch. Free-list
+// nodes are identified by walking the free list first.
+func (m *Manager) rehashAll() {
+	onFree := make(map[uint32]bool, m.numFree)
+	for i := m.free; i != 0; i = m.nodes[i].next {
+		onFree[i] = true
+	}
+	for i := range m.buckets {
+		m.buckets[i] = 0
+	}
+	for i := 2; i < len(m.nodes); i++ {
+		if onFree[uint32(i)] {
+			continue
+		}
+		n := &m.nodes[i]
+		b := m.hash(n.lvl&^markBit, n.low, n.high)
+		n.next = m.buckets[b]
+		m.buckets[b] = uint32(i)
+	}
+}
+
+// Protect registers f as an external root so that garbage collection
+// keeps it (and everything it references) alive. Calls nest: each
+// Protect must be balanced by one Unprotect. Protect returns f for
+// convenience.
+func (m *Manager) Protect(f Ref) Ref {
+	m.roots[f]++
+	return f
+}
+
+// Unprotect removes one protection from f.
+func (m *Manager) Unprotect(f Ref) {
+	c, ok := m.roots[f]
+	if !ok {
+		return
+	}
+	if c <= 1 {
+		delete(m.roots, f)
+	} else {
+		m.roots[f] = c - 1
+	}
+}
+
+// ProtectedCount returns the number of distinct protected roots.
+func (m *Manager) ProtectedCount() int { return len(m.roots) }
+
+// SetGCThreshold sets the live-node count above which MaybeGC collects.
+func (m *Manager) SetGCThreshold(n int) { m.gcThreshold = n }
+
+// checkRef panics if f is not a plausible node handle for this manager.
+func (m *Manager) checkRef(f Ref) {
+	if int(f) >= len(m.nodes) {
+		panic(fmt.Sprintf("bdd: invalid ref %d (arena size %d)", f, len(m.nodes)))
+	}
+}
+
+// clearCaches invalidates the operation caches. Required after GC or
+// reordering since cached results may reference freed nodes.
+func (m *Manager) clearCaches() {
+	for i := range m.ite {
+		m.ite[i] = iteEntry{}
+	}
+	for i := range m.binop {
+		m.binop[i] = binEntry{}
+	}
+	for i := range m.aex {
+		m.aex[i] = aexEntry{}
+	}
+	for _, p := range m.perms {
+		p.cache = nil
+	}
+}
+
+// cacheIndex hashes up to four words into a cache slot index.
+func cacheIndex(a, b, c, d uint32, size uint32) uint32 {
+	x := uint64(a)*0x9e3779b97f4a7c15 + uint64(b)*0xbf58476d1ce4e5b9 +
+		uint64(c)*0x94d049bb133111eb + uint64(d)*0x2545f4914f6cdd1d
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return uint32(x) & (size - 1)
+}
+
+// sanity: cache sizes must be powers of two for the masking above.
+var _ = func() struct{} {
+	if bits.OnesCount(uint(iteCacheSize)) != 1 || bits.OnesCount(uint(binCacheSize)) != 1 {
+		panic("bdd: cache sizes must be powers of two")
+	}
+	return struct{}{}
+}()

@@ -1,0 +1,113 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The defining property of both operators: agreement with f on the care
+// set, i.e. result ∧ c == f ∧ c.
+func TestConstrainAgreesOnCareSet(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	const n = 5
+	m := New(n)
+	for trial := 0; trial < 300; trial++ {
+		f, _ := randPair(r, m, n, 4)
+		c, _ := randPair(r, m, n, 4)
+		if c == False {
+			continue
+		}
+		g := m.Constrain(f, c)
+		if m.And(g, c) != m.And(f, c) {
+			t.Fatalf("trial %d: Constrain disagrees on care set", trial)
+		}
+	}
+}
+
+func TestMinimizeAgreesOnCareSet(t *testing.T) {
+	r := rand.New(rand.NewSource(72))
+	const n = 5
+	m := New(n)
+	for trial := 0; trial < 300; trial++ {
+		f, _ := randPair(r, m, n, 4)
+		c, _ := randPair(r, m, n, 4)
+		if c == False {
+			continue
+		}
+		g := m.Minimize(f, c)
+		if m.And(g, c) != m.And(f, c) {
+			t.Fatalf("trial %d: Minimize disagrees on care set", trial)
+		}
+	}
+}
+
+func TestMinimizeStaysInSupport(t *testing.T) {
+	r := rand.New(rand.NewSource(73))
+	const n = 6
+	m := New(n)
+	for trial := 0; trial < 200; trial++ {
+		f, _ := randPair(r, m, n, 3)
+		c, _ := randPair(r, m, n, 3)
+		if c == False {
+			continue
+		}
+		inF := map[int]bool{}
+		for _, v := range m.Support(f) {
+			inF[v] = true
+		}
+		g := m.Minimize(f, c)
+		for _, v := range m.Support(g) {
+			if !inF[v] {
+				t.Fatalf("trial %d: Minimize introduced variable %d", trial, v)
+			}
+		}
+	}
+}
+
+func TestConstrainIdentities(t *testing.T) {
+	m := New(4)
+	f := m.Xor(m.Var(0), m.Var(1))
+	if m.Constrain(f, True) != f {
+		t.Fatal("f ⇓ true must be f")
+	}
+	if m.Constrain(f, f) != True {
+		t.Fatal("f ⇓ f must be true")
+	}
+	if m.Constrain(True, m.Var(2)) != True {
+		t.Fatal("true ⇓ c must be true")
+	}
+	// constraining to a single-variable positive cube cofactors it away
+	g := m.Constrain(f, m.Var(0))
+	if g != m.Not(m.Var(1)) {
+		t.Fatalf("xor constrained to x0: got wrong cofactor")
+	}
+}
+
+func TestConstrainPanicsOnEmptyCareSet(t *testing.T) {
+	m := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Constrain(m.Var(0), False)
+}
+
+func TestPropConstrainQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(44))}
+	err := quick.Check(func(a, b uint16) bool {
+		m := New(propVars)
+		f := fromTruthTable(m, propVars, uint64(a))
+		c := fromTruthTable(m, propVars, uint64(b))
+		if c == False {
+			return true
+		}
+		g := m.Constrain(f, c)
+		h := m.Minimize(f, c)
+		return m.And(g, c) == m.And(f, c) && m.And(h, c) == m.And(f, c)
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

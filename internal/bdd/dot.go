@@ -1,0 +1,53 @@
+package bdd
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ToDot writes a Graphviz DOT rendering of f. names maps variable index
+// to display name; variables beyond the slice are rendered as "x<i>".
+// Solid edges are then-branches, dashed edges are else-branches.
+func (m *Manager) ToDot(w io.Writer, f Ref, names []string) error {
+	name := func(v int) string {
+		if v < len(names) && names[v] != "" {
+			return names[v]
+		}
+		return fmt.Sprintf("x%d", v)
+	}
+	if _, err := fmt.Fprintln(w, "digraph bdd {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  rankdir=TB;")
+	fmt.Fprintln(w, `  node0 [label="0", shape=box];`)
+	fmt.Fprintln(w, `  node1 [label="1", shape=box];`)
+
+	seen := make(map[Ref]bool)
+	var order []Ref
+	var collect func(Ref)
+	collect = func(g Ref) {
+		if IsTerminal(g) || seen[g] {
+			return
+		}
+		seen[g] = true
+		order = append(order, g)
+		collect(m.nodes[g].low)
+		collect(m.nodes[g].high)
+	}
+	collect(f)
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+	for _, g := range order {
+		n := m.nodes[g]
+		v := m.level2var[n.lvl&^markBit]
+		fmt.Fprintf(w, "  node%d [label=\"%s\", shape=circle];\n", g, name(v))
+		fmt.Fprintf(w, "  node%d -> node%d [style=dashed];\n", g, n.low)
+		fmt.Fprintf(w, "  node%d -> node%d;\n", g, n.high)
+	}
+	if IsTerminal(f) {
+		fmt.Fprintf(w, "  root [shape=plaintext, label=\"f\"]; root -> node%d;\n", f)
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

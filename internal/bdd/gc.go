@@ -1,0 +1,71 @@
+package bdd
+
+// Mark-and-sweep garbage collection. Live nodes are those reachable from
+// the protected roots (see Protect). Collection never moves nodes, so
+// protected Refs stay valid; all *unprotected* Refs obtained before a
+// collection must be considered invalid afterwards. The operation caches
+// are cleared because they may mention freed nodes.
+
+// GC collects every node unreachable from the protected roots and
+// returns the number of nodes freed.
+func (m *Manager) GC() int {
+	m.Stats.GCRuns++
+	// Mark.
+	for r := range m.roots {
+		m.mark(r)
+	}
+	// Sweep: rebuild the free list and the unique table.
+	freed := 0
+	m.free = 0
+	m.numFree = 0
+	for i := range m.buckets {
+		m.buckets[i] = 0
+	}
+	alive := 2 // terminals
+	for i := len(m.nodes) - 1; i >= 2; i-- {
+		n := &m.nodes[i]
+		if n.lvl&markBit != 0 {
+			n.lvl &^= markBit
+			b := m.hash(n.lvl, n.low, n.high)
+			n.next = m.buckets[b]
+			m.buckets[b] = uint32(i)
+			alive++
+		} else {
+			n.lvl = terminalLevel // defensive: freed nodes look terminal-ish
+			n.low = False
+			n.high = False
+			n.next = m.free
+			m.free = uint32(i)
+			m.numFree++
+			freed++
+		}
+	}
+	m.numAlloc = alive
+	m.Stats.NodesFreed += uint64(freed)
+	m.clearCaches()
+	return freed
+}
+
+// mark sets the mark bit on every node reachable from f.
+func (m *Manager) mark(f Ref) {
+	if IsTerminal(f) {
+		return
+	}
+	n := &m.nodes[f]
+	if n.lvl&markBit != 0 {
+		return
+	}
+	n.lvl |= markBit
+	m.mark(n.low)
+	m.mark(n.high)
+}
+
+// MaybeGC runs a collection if the live-node count exceeds the GC
+// threshold, returning the number of nodes freed (0 if no collection
+// ran). Callers must ensure every Ref they still need is protected.
+func (m *Manager) MaybeGC() int {
+	if m.numAlloc <= m.gcThreshold {
+		return 0
+	}
+	return m.GC()
+}

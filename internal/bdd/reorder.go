@@ -1,0 +1,198 @@
+package bdd
+
+import "sort"
+
+// Variable reordering. Reordering is offline: the caller supplies the
+// roots it cares about, the manager rebuilds them under the new order in
+// a fresh arena and swaps it in. Every Ref not passed as a root is
+// invalidated (as are protected roots, which are re-protected at their
+// translated values). Registered Permutations remain valid because they
+// are expressed over variable indices, not levels.
+
+// Reorder rebuilds the given roots under the new variable order (order[i]
+// is the variable to be placed at level i) and returns the translated
+// roots in the same positions.
+func (m *Manager) Reorder(order []int, roots []Ref) []Ref {
+	if len(order) != m.NumVars() {
+		panic("bdd: order length mismatch")
+	}
+	seen := make([]bool, len(order))
+	for _, v := range order {
+		if v < 0 || v >= len(order) || seen[v] {
+			panic("bdd: order is not a permutation of the variables")
+		}
+		seen[v] = true
+	}
+	m.Stats.Reorderings++
+
+	fresh := New(0)
+	fresh.gcThreshold = m.gcThreshold
+	for range order {
+		fresh.AddVar()
+	}
+	copy(fresh.level2var, order)
+	for l, v := range order {
+		fresh.var2level[v] = l
+	}
+
+	memo := make(map[Ref]Ref)
+	var translate func(Ref) Ref
+	translate = func(f Ref) Ref {
+		if IsTerminal(f) {
+			return f
+		}
+		if r, ok := memo[f]; ok {
+			return r
+		}
+		n := m.nodes[f]
+		low := translate(n.low)
+		high := translate(n.high)
+		v := m.level2var[n.lvl&^markBit]
+		res := fresh.composeVar(v, low, high)
+		memo[f] = res
+		return res
+	}
+
+	out := make([]Ref, len(roots))
+	for i, r := range roots {
+		m.checkRef(r)
+		out[i] = translate(r)
+	}
+	newRoots := make(map[Ref]int, len(m.roots))
+	for r, c := range m.roots {
+		newRoots[translate(r)] += c
+	}
+
+	// Swap the fresh guts in, preserving stats and permutations.
+	m.nodes = fresh.nodes
+	m.buckets = fresh.buckets
+	m.mask = fresh.mask
+	m.free = fresh.free
+	m.numFree = fresh.numFree
+	m.numAlloc = fresh.numAlloc
+	m.var2level = fresh.var2level
+	m.level2var = fresh.level2var
+	m.roots = newRoots
+	m.clearCaches()
+	return out
+}
+
+// TotalSize returns the number of distinct nodes used by all roots
+// together (shared nodes counted once).
+func (m *Manager) TotalSize(roots []Ref) int {
+	seen := make(map[Ref]bool)
+	var walk func(Ref)
+	walk = func(g Ref) {
+		if seen[g] {
+			return
+		}
+		seen[g] = true
+		if IsTerminal(g) {
+			return
+		}
+		n := &m.nodes[g]
+		walk(n.low)
+		walk(n.high)
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	return len(seen)
+}
+
+// Sift performs one pass of sifting-style reordering over the given
+// roots: variables are considered in decreasing order of contribution,
+// and each is tried at every level, keeping the placement that minimizes
+// the total shared node count. Returns the translated roots.
+//
+// This implementation is rebuild-based rather than in-place, trading
+// speed for simplicity; it is intended for offline optimization of a
+// model's variable order before a long checking run.
+func (m *Manager) Sift(roots []Ref) []Ref {
+	n := m.NumVars()
+	if n <= 1 {
+		return append([]Ref(nil), roots...)
+	}
+	// Contribution of each variable = number of nodes labeled with it.
+	contrib := make([]int, n)
+	seen := make(map[Ref]bool)
+	var walk func(Ref)
+	walk = func(g Ref) {
+		if seen[g] || IsTerminal(g) {
+			return
+		}
+		seen[g] = true
+		nd := &m.nodes[g]
+		contrib[m.level2var[nd.lvl&^markBit]]++
+		walk(nd.low)
+		walk(nd.high)
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	varsByContrib := make([]int, n)
+	for i := range varsByContrib {
+		varsByContrib[i] = i
+	}
+	sort.Slice(varsByContrib, func(i, j int) bool {
+		return contrib[varsByContrib[i]] > contrib[varsByContrib[j]]
+	})
+
+	cur := append([]Ref(nil), roots...)
+	for _, v := range varsByContrib {
+		if contrib[v] == 0 {
+			continue
+		}
+		bestSize := m.TotalSize(cur)
+		bestOrder := m.Order()
+		improved := false
+		base := m.Order()
+		pos := indexOf(base, v)
+		for target := 0; target < n; target++ {
+			if target == pos {
+				continue
+			}
+			cand := moveVar(base, pos, target)
+			trial := m.Reorder(cand, cur)
+			size := m.TotalSize(trial)
+			if size < bestSize {
+				bestSize = size
+				bestOrder = cand
+				improved = true
+			}
+			// restore base order for the next trial
+			cur = m.Reorder(base, trial)
+		}
+		if improved {
+			cur = m.Reorder(bestOrder, cur)
+			base = bestOrder
+		}
+	}
+	return cur
+}
+
+func indexOf(s []int, v int) int {
+	for i, x := range s {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// moveVar returns a copy of order with the element at from moved to
+// position to.
+func moveVar(order []int, from, to int) []int {
+	out := make([]int, 0, len(order))
+	v := order[from]
+	for i, x := range order {
+		if i == from {
+			continue
+		}
+		out = append(out, x)
+	}
+	out = append(out, 0)
+	copy(out[to+1:], out[to:])
+	out[to] = v
+	return out
+}

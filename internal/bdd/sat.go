@@ -1,0 +1,219 @@
+package bdd
+
+// Satisfying assignments, model counting, evaluation and size metrics.
+
+// Eval evaluates f under the assignment env (indexed by variable).
+// Variables beyond len(env) are treated as false.
+func (m *Manager) Eval(f Ref, env []bool) bool {
+	for !IsTerminal(f) {
+		n := &m.nodes[f]
+		v := m.level2var[n.lvl&^markBit]
+		if v < len(env) && env[v] {
+			f = n.high
+		} else {
+			f = n.low
+		}
+	}
+	return f == True
+}
+
+// SatCount returns the number of satisfying assignments of f over nvars
+// variables as a float64. Counts up to 2^53 are exact. It computes the
+// density of f (the fraction of all assignments that satisfy it, which
+// is order-independent) and scales by 2^nvars.
+func (m *Manager) SatCount(f Ref, nvars int) float64 {
+	dens := make(map[Ref]float64)
+	var density func(Ref) float64
+	density = func(g Ref) float64 {
+		switch g {
+		case False:
+			return 0
+		case True:
+			return 1
+		}
+		if d, ok := dens[g]; ok {
+			return d
+		}
+		n := &m.nodes[g]
+		d := 0.5*density(n.low) + 0.5*density(n.high)
+		dens[g] = d
+		return d
+	}
+	return density(f) * pow2(nvars)
+}
+
+func pow2(n int) float64 {
+	r := 1.0
+	for i := 0; i < n; i++ {
+		r *= 2
+	}
+	return r
+}
+
+// AnySat returns one satisfying assignment of f as a slice indexed by
+// variable: 1 for true, 0 for false, -1 for don't-care. Returns nil when
+// f is unsatisfiable. The assignment chosen is deterministic: at each
+// node the low branch is preferred when satisfiable.
+func (m *Manager) AnySat(f Ref) []int8 {
+	if f == False {
+		return nil
+	}
+	out := make([]int8, m.NumVars())
+	for i := range out {
+		out[i] = -1
+	}
+	for !IsTerminal(f) {
+		n := &m.nodes[f]
+		v := m.level2var[n.lvl&^markBit]
+		if n.low != False {
+			out[v] = 0
+			f = n.low
+		} else {
+			out[v] = 1
+			f = n.high
+		}
+	}
+	return out
+}
+
+// PickOne returns the lexicographically least full assignment to vars
+// that satisfies f (don't-cares resolved to false), or nil if f is
+// unsatisfiable. It is the "choose an arbitrary element of the set" step
+// of the witness construction, made deterministic for reproducibility.
+func (m *Manager) PickOne(f Ref, vars []int) []bool {
+	a := m.AnySat(f)
+	if a == nil {
+		return nil
+	}
+	out := make([]bool, len(vars))
+	for i, v := range vars {
+		out[i] = v < len(a) && a[v] == 1
+	}
+	return out
+}
+
+// MintermCube converts a full assignment over vars into the BDD cube of
+// that single state.
+func (m *Manager) MintermCube(vars []int, vals []bool) Ref {
+	if len(vars) != len(vals) {
+		panic("bdd: MintermCube length mismatch")
+	}
+	// Conjoin in decreasing level order for linear construction.
+	type lv struct {
+		lvl int
+		val bool
+	}
+	lits := make([]lv, len(vars))
+	for i, v := range vars {
+		lits[i] = lv{m.var2level[v], vals[i]}
+	}
+	for i := 1; i < len(lits); i++ {
+		for j := i; j > 0 && lits[j].lvl > lits[j-1].lvl; j-- {
+			lits[j], lits[j-1] = lits[j-1], lits[j]
+		}
+	}
+	res := True
+	for _, l := range lits {
+		if l.val {
+			res = m.mk(uint32(l.lvl), False, res)
+		} else {
+			res = m.mk(uint32(l.lvl), res, False)
+		}
+	}
+	return res
+}
+
+// AllSat invokes fn for every satisfying assignment of f over exactly
+// the given vars (don't-cares are expanded). fn may return false to stop
+// the enumeration early. The assignment slice is reused between calls.
+func (m *Manager) AllSat(f Ref, vars []int, fn func([]bool) bool) {
+	if f == False {
+		return
+	}
+	lvlPos := make(map[uint32]int, len(vars)) // level -> position in vars
+	for i, v := range vars {
+		lvlPos[uint32(m.var2level[v])] = i
+	}
+	// order positions by level
+	order := make([]int, 0, len(vars))
+	for l := 0; l < len(m.level2var); l++ {
+		if p, ok := lvlPos[uint32(l)]; ok {
+			order = append(order, p)
+		}
+	}
+	asg := make([]bool, len(vars))
+	stop := false
+	var rec func(g Ref, oi int)
+	rec = func(g Ref, oi int) {
+		if stop || g == False {
+			return
+		}
+		if oi == len(order) {
+			if g != True {
+				// f depends on a variable outside vars; treat rest as exists
+				if m.existsAll(g) {
+					if !fn(asg) {
+						stop = true
+					}
+				}
+				return
+			}
+			if !fn(asg) {
+				stop = true
+			}
+			return
+		}
+		pos := order[oi]
+		lvl := uint32(m.var2level[vars[pos]])
+		gl := m.level(g)
+		if IsTerminal(g) || gl > lvl {
+			// variable is a don't-care here: branch both ways
+			asg[pos] = false
+			rec(g, oi+1)
+			asg[pos] = true
+			rec(g, oi+1)
+			return
+		}
+		if gl < lvl {
+			// g tests a variable not in vars before lvl: existentially
+			// branch through it without recording.
+			n := &m.nodes[g]
+			rec(n.low, oi)
+			if !stop {
+				rec(n.high, oi)
+			}
+			return
+		}
+		n := &m.nodes[g]
+		asg[pos] = false
+		rec(n.low, oi+1)
+		asg[pos] = true
+		rec(n.high, oi+1)
+	}
+	rec(f, 0)
+}
+
+// existsAll reports whether g is satisfiable (it always is unless g is
+// the False terminal, since BDDs are reduced).
+func (m *Manager) existsAll(g Ref) bool { return g != False }
+
+// Size returns the number of distinct nodes reachable from f, including
+// terminals.
+func (m *Manager) Size(f Ref) int {
+	seen := make(map[Ref]bool)
+	var walk func(Ref)
+	walk = func(g Ref) {
+		if seen[g] {
+			return
+		}
+		seen[g] = true
+		if IsTerminal(g) {
+			return
+		}
+		n := &m.nodes[g]
+		walk(n.low)
+		walk(n.high)
+	}
+	walk(f)
+	return len(seen)
+}

@@ -1,0 +1,171 @@
+package bdd
+
+// Serialization of BDDs in a compact binary format, so that computed
+// transition relations and reachable-state sets can be checkpointed and
+// shared between runs. The format stores the variable order and the
+// node triples of the reachable subgraph in topological order; loading
+// replays mk() so the result is canonical in the target manager even if
+// its arena layout differs.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+const serialMagic = "GOBDD1\n"
+
+// Save writes the given roots (and the manager's variable order) to w.
+func (m *Manager) Save(w io.Writer, roots []Ref) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(serialMagic); err != nil {
+		return err
+	}
+	writeU32 := func(x uint32) error {
+		var buf [4]byte
+		binary.LittleEndian.PutUint32(buf[:], x)
+		_, err := bw.Write(buf[:])
+		return err
+	}
+	if err := writeU32(uint32(m.NumVars())); err != nil {
+		return err
+	}
+	for _, v := range m.level2var {
+		if err := writeU32(uint32(v)); err != nil {
+			return err
+		}
+	}
+
+	// Topological order: children before parents.
+	index := map[Ref]uint32{False: 0, True: 1}
+	var order []Ref
+	var visit func(Ref)
+	visit = func(f Ref) {
+		if _, ok := index[f]; ok {
+			return
+		}
+		n := &m.nodes[f]
+		visit(n.low)
+		visit(n.high)
+		index[f] = uint32(len(order) + 2)
+		order = append(order, f)
+	}
+	for _, r := range roots {
+		m.checkRef(r)
+		visit(r)
+	}
+
+	if err := writeU32(uint32(len(order))); err != nil {
+		return err
+	}
+	for _, f := range order {
+		n := &m.nodes[f]
+		if err := writeU32(n.lvl &^ markBit); err != nil {
+			return err
+		}
+		if err := writeU32(index[n.low]); err != nil {
+			return err
+		}
+		if err := writeU32(index[n.high]); err != nil {
+			return err
+		}
+	}
+	if err := writeU32(uint32(len(roots))); err != nil {
+		return err
+	}
+	for _, r := range roots {
+		if err := writeU32(index[r]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads roots previously written by Save into the manager. The
+// manager must have at least as many variables as the saved order; the
+// saved levels are interpreted through the *saved* order, i.e. the
+// function is reconstructed over the same variable indices it was
+// built over (levels follow the target manager's current order).
+func (m *Manager) Load(r io.Reader) ([]Ref, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(serialMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != serialMagic {
+		return nil, errors.New("bdd: bad magic (not a saved BDD)")
+	}
+	readU32 := func() (uint32, error) {
+		var buf [4]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(buf[:]), nil
+	}
+	nvars, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if int(nvars) > m.NumVars() {
+		return nil, fmt.Errorf("bdd: saved BDD uses %d variables, manager has %d", nvars, m.NumVars())
+	}
+	savedLevel2Var := make([]int, nvars)
+	for i := range savedLevel2Var {
+		v, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		if int(v) >= m.NumVars() {
+			return nil, fmt.Errorf("bdd: saved variable %d out of range", v)
+		}
+		savedLevel2Var[i] = int(v)
+	}
+
+	nnodes, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	table := make([]Ref, nnodes+2)
+	table[0] = False
+	table[1] = True
+	for i := uint32(0); i < nnodes; i++ {
+		lvl, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		lowIdx, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		highIdx, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		if lvl >= nvars || lowIdx >= i+2 || highIdx >= i+2 {
+			return nil, errors.New("bdd: corrupt node record")
+		}
+		v := savedLevel2Var[lvl]
+		low, high := table[lowIdx], table[highIdx]
+		// Rebuild through ITE so a different variable order in the
+		// target manager still yields the correct (canonical) function.
+		table[i+2] = m.ite3(m.Var(v), high, low)
+	}
+	nroots, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	roots := make([]Ref, nroots)
+	for i := range roots {
+		idx, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		if idx >= uint32(len(table)) {
+			return nil, errors.New("bdd: corrupt root record")
+		}
+		roots[i] = table[idx]
+	}
+	return roots, nil
+}

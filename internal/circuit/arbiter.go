@@ -1,0 +1,95 @@
+package circuit
+
+import "strconv"
+
+// The Seitz arbiter (paper Section 6, Figure 3). The published figure's
+// exact wiring is not fully recoverable from the text, so this is a
+// reconstruction that reproduces the failure mechanism the paper
+// narrates for the specification AG(tr1 -> AF ta1):
+//
+//   - the ME element can hold its grant meo1 ("meol") long after the
+//     request input meil has gone low;
+//   - a fresh user request ur1 then races through AND1 (tr1 = ur1 ∧ meo1)
+//     using the *stale* grant, and the acknowledgment chain
+//     ta1 → sr → sa → ua1 completes;
+//   - the slow OR1 gate (meil = ur1 ∨ ua1) means the ME only now sees the
+//     request, withdraws and re-issues the grant, pulsing tr1 low and
+//     high while ta1 stays low;
+//   - because ua1 is still high from the first pulse, the 4-phase
+//     environment may withdraw ur1, and the circuit settles into a
+//     quiescent state in which ta1 never rises — a fair path falsifying
+//     tr1 -> AF ta1.
+//
+// Netlist (side 2 is symmetric):
+//
+//	meil = OR1(ur1, ua1)          meir = OR2(ur2, ua2)
+//	(meol, meor) = ME(meil, meir)  with grant-holding behaviour
+//	tr1  = AND1(ur1, meol)        tr2  = AND2(ur2, meor)
+//	ta1  = BUF(tr1)               ta2  = BUF(tr2)
+//	sr   = OR(ta1, ta2)
+//	sa   = BUF(sr)                 -- the shared service element
+//	ua1  = AND(sa, ta1)           ua2  = AND(sa, ta2)
+//	ur1, ur2: 4-phase user requests acknowledged by ua1, ua2
+
+// SeitzArbiter builds the reconstructed two-user arbiter.
+func SeitzArbiter() *Netlist {
+	n := &Netlist{Name: "seitz-arbiter"}
+	n.AddInput("ur1", "ua1", false)
+	n.AddInput("ur2", "ua2", false)
+
+	n.AddGate("meil", Or, false, "ur1", "ua1")
+	n.AddGate("meir", Or, false, "ur2", "ua2")
+	n.AddMutex("me", "meil", "meir", "meol", "meor")
+
+	n.AddGate("tr1", And, false, "ur1", "meol")
+	n.AddGate("tr2", And, false, "ur2", "meor")
+	n.AddGate("ta1", Buf, false, "tr1")
+	n.AddGate("ta2", Buf, false, "tr2")
+	n.AddGate("sr", Or, false, "ta1", "ta2")
+	n.AddGate("sa", Buf, false, "sr")
+	n.AddGate("ua1", And, false, "sa", "ta1")
+	n.AddGate("ua2", And, false, "sa", "ta2")
+	return n
+}
+
+// ArbiterSpecs are the liveness properties the paper checks: each t-side
+// request must inevitably be acknowledged. The first one is the paper's
+// failing specification.
+var ArbiterSpecs = []string{
+	"AG (tr1 -> AF ta1)",
+	"AG (tr2 -> AF ta2)",
+	"AG !(meol & meor)",
+	"AG (ta1 -> EF !ta1)",
+}
+
+// ScaledArbiter chains k independent arbiter copies into one netlist
+// (signal names suffixed _0.._k-1). It is the workload generator for the
+// symbolic-vs-explicit scaling experiment (E7): the explicit checker's
+// state count multiplies with every copy while the BDD representation
+// grows roughly linearly.
+func ScaledArbiter(k int) *Netlist {
+	n := &Netlist{Name: "scaled-arbiter"}
+	for i := 0; i < k; i++ {
+		s := func(base string) string {
+			return base + suffix(i)
+		}
+		n.AddInput(s("ur1"), s("ua1"), false)
+		n.AddInput(s("ur2"), s("ua2"), false)
+		n.AddGate(s("meil"), Or, false, s("ur1"), s("ua1"))
+		n.AddGate(s("meir"), Or, false, s("ur2"), s("ua2"))
+		n.AddMutex(s("me"), s("meil"), s("meir"), s("meol"), s("meor"))
+		n.AddGate(s("tr1"), And, false, s("ur1"), s("meol"))
+		n.AddGate(s("tr2"), And, false, s("ur2"), s("meor"))
+		n.AddGate(s("ta1"), Buf, false, s("tr1"))
+		n.AddGate(s("ta2"), Buf, false, s("tr2"))
+		n.AddGate(s("sr"), Or, false, s("ta1"), s("ta2"))
+		n.AddGate(s("sa"), Buf, false, s("sr"))
+		n.AddGate(s("ua1"), And, false, s("sa"), s("ta1"))
+		n.AddGate(s("ua2"), And, false, s("sa"), s("ta2"))
+	}
+	return n
+}
+
+func suffix(i int) string {
+	return "_" + strconv.Itoa(i)
+}

@@ -1,0 +1,266 @@
+// Package circuit models speed-independent asynchronous circuits at the
+// gate level, the setting of the paper's case study (Section 6,
+// Figure 3). Every gate output is a state variable; on each step a gate
+// either holds its value or switches to its excitation function —
+// "each gate can take an arbitrarily long time to respond to its
+// inputs". A fairness constraint per gate ("the gate is stable") encodes
+// that every gate eventually responds; mutual-exclusion (ME) elements
+// arbitrate between two requests without ever granting both.
+package circuit
+
+import (
+	"fmt"
+
+	"repro/internal/bdd"
+	"repro/internal/kripke"
+)
+
+// Kind enumerates gate types.
+type Kind int
+
+const (
+	Buf Kind = iota
+	Not
+	And
+	Or
+	Nand
+	Nor
+	Xor
+	CElem // Muller C-element: output follows inputs when they agree
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Buf:
+		return "BUF"
+	case Not:
+		return "NOT"
+	case And:
+		return "AND"
+	case Or:
+		return "OR"
+	case Nand:
+		return "NAND"
+	case Nor:
+		return "NOR"
+	case Xor:
+		return "XOR"
+	case CElem:
+		return "C"
+	default:
+		return "?"
+	}
+}
+
+// Gate is one logic gate; Name is also its output net.
+type Gate struct {
+	Name string
+	Kind Kind
+	In   []string
+	Init bool
+}
+
+// Mutex is a mutual-exclusion element with two request inputs and two
+// grant outputs; it never raises both grants.
+type Mutex struct {
+	Name       string
+	In1, In2   string
+	Out1, Out2 string
+	Init1      bool
+	Init2      bool
+}
+
+// Input is a primary input driven by the environment. If Ack is
+// non-empty the input follows the 4-phase handshake discipline: it may
+// rise only while Ack is low and fall only while Ack is high. With an
+// empty Ack the input toggles freely.
+type Input struct {
+	Name string
+	Ack  string
+	Init bool
+}
+
+// Netlist is a gate-level circuit.
+type Netlist struct {
+	Name    string
+	Gates   []*Gate
+	Mutexes []*Mutex
+	Inputs  []*Input
+}
+
+// AddGate appends a gate and returns its output net name.
+func (n *Netlist) AddGate(name string, k Kind, init bool, in ...string) string {
+	n.Gates = append(n.Gates, &Gate{Name: name, Kind: k, In: in, Init: init})
+	return name
+}
+
+// AddMutex appends an ME element.
+func (n *Netlist) AddMutex(name, in1, in2, out1, out2 string) {
+	n.Mutexes = append(n.Mutexes, &Mutex{Name: name, In1: in1, In2: in2, Out1: out1, Out2: out2})
+}
+
+// AddInput appends a primary input.
+func (n *Netlist) AddInput(name, ack string, init bool) {
+	n.Inputs = append(n.Inputs, &Input{Name: name, Ack: ack, Init: init})
+}
+
+// Nets returns all state-variable names in declaration order: inputs,
+// then gate outputs, then ME outputs.
+func (n *Netlist) Nets() []string {
+	var out []string
+	for _, in := range n.Inputs {
+		out = append(out, in.Name)
+	}
+	for _, g := range n.Gates {
+		out = append(out, g.Name)
+	}
+	for _, m := range n.Mutexes {
+		out = append(out, m.Out1, m.Out2)
+	}
+	return out
+}
+
+// Compile translates the netlist into a symbolic Kripke structure with
+// the speed-independent semantics and per-gate fairness constraints.
+func (n *Netlist) Compile() (*kripke.Symbolic, error) {
+	names := n.Nets()
+	seen := map[string]bool{}
+	for _, nm := range names {
+		if seen[nm] {
+			return nil, fmt.Errorf("circuit: net %q driven twice", nm)
+		}
+		seen[nm] = true
+	}
+	b := kripke.NewBuilder(names)
+	m := b.S.M
+
+	cur := func(net string) (bdd.Ref, error) {
+		if !seen[net] {
+			return bdd.False, fmt.Errorf("circuit: undriven net %q", net)
+		}
+		return b.Cur(net), nil
+	}
+
+	// Primary inputs.
+	for _, in := range n.Inputs {
+		b.InitValue(in.Name, in.Init)
+		if in.Ack == "" {
+			// free toggle: next unconstrained; nothing to add
+			continue
+		}
+		ack, err := cur(in.Ack)
+		if err != nil {
+			return nil, err
+		}
+		// 4-phase: may move toward ¬Ack... the input is allowed to rise
+		// when ack is low and fall when ack is high, i.e. its "target"
+		// is ¬ack when it differs, else it holds.
+		b.NextChoice(in.Name, m.Not(ack))
+	}
+
+	// Gates.
+	for _, g := range n.Gates {
+		target, err := n.gateFunc(b, g)
+		if err != nil {
+			return nil, err
+		}
+		b.InitValue(g.Name, g.Init)
+		b.NextChoice(g.Name, target)
+		stable := m.Eq(b.Cur(g.Name), target)
+		b.AddFairness(fmt.Sprintf("%s(%s) responds", g.Kind, g.Name), stable)
+	}
+
+	// ME elements.
+	for _, mx := range n.Mutexes {
+		r1, err := cur(mx.In1)
+		if err != nil {
+			return nil, err
+		}
+		r2, err := cur(mx.In2)
+		if err != nil {
+			return nil, err
+		}
+		g1, g2 := b.Cur(mx.Out1), b.Cur(mx.Out2)
+		t1 := m.And(r1, m.Not(g2))
+		t2 := m.And(r2, m.Not(g1))
+		b.InitValue(mx.Out1, mx.Init1)
+		b.InitValue(mx.Out2, mx.Init2)
+		b.NextChoice(mx.Out1, t1)
+		b.NextChoice(mx.Out2, t2)
+		// mutual exclusion also in the next state (no simultaneous grant)
+		b.ConstrainTrans(m.Not(m.And(b.Next(mx.Out1), b.Next(mx.Out2))))
+		b.AddFairness(fmt.Sprintf("ME(%s).%s responds", mx.Name, mx.Out1), m.Eq(g1, t1))
+		b.AddFairness(fmt.Sprintf("ME(%s).%s responds", mx.Name, mx.Out2), m.Eq(g2, t2))
+	}
+
+	return b.Finish(), nil
+}
+
+// gateFunc builds the excitation function of a gate over current nets.
+func (n *Netlist) gateFunc(b *kripke.Builder, g *Gate) (bdd.Ref, error) {
+	m := b.S.M
+	var ins []bdd.Ref
+	nets := map[string]bool{}
+	for _, nm := range n.Nets() {
+		nets[nm] = true
+	}
+	for _, in := range g.In {
+		if !nets[in] {
+			return bdd.False, fmt.Errorf("circuit: gate %q reads undriven net %q", g.Name, in)
+		}
+		ins = append(ins, b.Cur(in))
+	}
+	need := func(k int) error {
+		if len(ins) != k {
+			return fmt.Errorf("circuit: gate %q (%s) needs %d inputs, has %d", g.Name, g.Kind, k, len(ins))
+		}
+		return nil
+	}
+	switch g.Kind {
+	case Buf:
+		if err := need(1); err != nil {
+			return bdd.False, err
+		}
+		return ins[0], nil
+	case Not:
+		if err := need(1); err != nil {
+			return bdd.False, err
+		}
+		return m.Not(ins[0]), nil
+	case And:
+		if len(ins) < 2 {
+			return bdd.False, fmt.Errorf("circuit: gate %q needs >= 2 inputs", g.Name)
+		}
+		return m.AndN(ins...), nil
+	case Or:
+		if len(ins) < 2 {
+			return bdd.False, fmt.Errorf("circuit: gate %q needs >= 2 inputs", g.Name)
+		}
+		return m.OrN(ins...), nil
+	case Nand:
+		if len(ins) < 2 {
+			return bdd.False, fmt.Errorf("circuit: gate %q needs >= 2 inputs", g.Name)
+		}
+		return m.Not(m.AndN(ins...)), nil
+	case Nor:
+		if len(ins) < 2 {
+			return bdd.False, fmt.Errorf("circuit: gate %q needs >= 2 inputs", g.Name)
+		}
+		return m.Not(m.OrN(ins...)), nil
+	case Xor:
+		if err := need(2); err != nil {
+			return bdd.False, err
+		}
+		return m.Xor(ins[0], ins[1]), nil
+	case CElem:
+		if err := need(2); err != nil {
+			return bdd.False, err
+		}
+		out := b.Cur(g.Name)
+		both := m.And(ins[0], ins[1])
+		either := m.Or(ins[0], ins[1])
+		return m.Or(both, m.And(out, either)), nil
+	default:
+		return bdd.False, fmt.Errorf("circuit: unknown gate kind %d", g.Kind)
+	}
+}

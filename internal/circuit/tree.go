@@ -1,0 +1,97 @@
+package circuit
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// TreeArbiter builds a NAIVE speed-independent tree arbiter granting a
+// shared resource to one of 2^levels users: mutual-exclusion elements
+// are arranged in a binary tree, each arbitrating between its two
+// subtrees; a user's acknowledgment gate computes the conjunction of
+// the grants on its root-to-leaf path.
+//
+// The naive design is intentionally buggy in exactly the way the
+// paper's case study is: every ME element is correct in isolation
+// (AG !(g_l & g_r) holds per node), but the *acknowledgment gates have
+// their own delays*, so a stale high ack can coexist with a freshly
+// risen ack for another user after the tree re-arbitrates — user-level
+// mutual exclusion FAILS, and the checker produces the interleaving
+// demonstrating the hazard. A production arbiter needs a full 4-phase
+// handshake per tree level (as in Martin's DME cell); the tests pin
+// both facts: per-node safety holds, end-to-end safety does not.
+//
+// Net naming: user requests r0..r{n-1} (4-phase, acked by a0..a{n-1});
+// internal tree nodes are numbered heap-style (node 1 is the root, node
+// k has children 2k and 2k+1); node k exposes grants g<k>_l and g<k>_r
+// and forwards the request or<k> = (left demand) | (right demand).
+func TreeArbiter(levels int) *Netlist {
+	if levels < 1 {
+		levels = 1
+	}
+	n := &Netlist{Name: fmt.Sprintf("tree-arbiter-%d", 1<<levels)}
+	users := 1 << levels
+
+	for u := 0; u < users; u++ {
+		n.AddInput("r"+strconv.Itoa(u), "a"+strconv.Itoa(u), false)
+	}
+
+	// demand(k) is the net expressing "subtree k wants the resource".
+	// Leaf subtrees (k >= 2^levels) map to user requests; internal nodes
+	// get an OR gate over their children's demands.
+	demand := func(k int) string {
+		if k >= users {
+			return "r" + strconv.Itoa(k-users)
+		}
+		return "or" + strconv.Itoa(k)
+	}
+
+	// build bottom-up so gate inputs exist
+	for k := users - 1; k >= 1; k-- {
+		left, right := 2*k, 2*k+1
+		n.AddMutex("me"+strconv.Itoa(k), demand(left), demand(right),
+			gl(k), gr(k))
+		n.AddGate(demand(k), Or, false, demand(left), demand(right))
+	}
+
+	// user grant chain: conjunction of grants along the path to the root
+	for u := 0; u < users; u++ {
+		leaf := users + u
+		var path []string
+		k := leaf
+		for k > 1 {
+			parent := k / 2
+			if k == 2*parent {
+				path = append(path, gl(parent))
+			} else {
+				path = append(path, gr(parent))
+			}
+			k = parent
+		}
+		if len(path) == 1 {
+			n.AddGate("a"+strconv.Itoa(u), Buf, false, path[0])
+		} else {
+			n.AddGate("a"+strconv.Itoa(u), And, false, path...)
+		}
+	}
+	return n
+}
+
+func gl(k int) string { return "g" + strconv.Itoa(k) + "_l" }
+func gr(k int) string { return "g" + strconv.Itoa(k) + "_r" }
+
+// TreeArbiterMutexSpec is the safety property: no two users are
+// acknowledged simultaneously.
+func TreeArbiterMutexSpec(levels int) string {
+	users := 1 << levels
+	spec := ""
+	for i := 0; i < users; i++ {
+		for j := i + 1; j < users; j++ {
+			if spec != "" {
+				spec += " & "
+			}
+			spec += fmt.Sprintf("AG !(a%d & a%d)", i, j)
+		}
+	}
+	return spec
+}

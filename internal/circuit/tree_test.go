@@ -1,0 +1,131 @@
+package circuit
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ctl"
+	"repro/internal/mc"
+)
+
+// TestTreeArbiterPerNodeSafety: every ME element keeps its own grants
+// exclusive, at every size.
+func TestTreeArbiterPerNodeSafety(t *testing.T) {
+	for _, levels := range []int{1, 2} {
+		s, err := TreeArbiter(levels).Compile()
+		if err != nil {
+			t.Fatalf("levels=%d: %v", levels, err)
+		}
+		if !s.IsTotal() {
+			t.Fatalf("levels=%d: model not total", levels)
+		}
+		c := mc.New(s)
+		for k := 1; k < 1<<levels; k++ {
+			spec := fmt.Sprintf("AG !(g%d_l & g%d_r)", k, k)
+			set, err := c.Check(ctl.MustParse(spec))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !s.M.Implies(s.Init, set) {
+				t.Fatalf("levels=%d: %s violated", levels, spec)
+			}
+		}
+	}
+}
+
+// TestTreeArbiterStaleAckHazard: the ack gates' delays break end-to-end
+// mutual exclusion — the checker finds the hazard and the counterexample
+// validates against the model (the paper's debugging story on a second
+// circuit).
+func TestTreeArbiterStaleAckHazard(t *testing.T) {
+	s, err := TreeArbiter(1).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := core.NewGenerator(mc.New(s))
+	ok, tr, err := gen.CounterexampleInit(ctl.MustParse(TreeArbiterMutexSpec(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("the stale-ack hazard should be detected")
+	}
+	if err := core.ValidatePath(s, tr); err != nil {
+		t.Fatalf("invalid counterexample: %v", err)
+	}
+	// the final state of the prefix must show both acks high
+	a0, _ := s.AtomSet(ctl.Atom("a0"))
+	a1, _ := s.AtomSet(ctl.Atom("a1"))
+	sawBoth := false
+	for _, st := range tr.States {
+		if s.Holds(a0, st) && s.Holds(a1, st) {
+			sawBoth = true
+		}
+	}
+	if !sawBoth {
+		t.Fatalf("counterexample does not exhibit the double ack:\n%s", tr.DeltaString())
+	}
+	t.Logf("hazard trace: %d states", tr.Len())
+}
+
+func TestTreeArbiterGrantsPossible(t *testing.T) {
+	s, err := TreeArbiter(2).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mc.New(s)
+	// every user can eventually be acknowledged
+	for u := 0; u < 4; u++ {
+		set, err := c.Check(ctl.MustParse(fmt.Sprintf("EF a%d", u)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s.M.Implies(s.Init, set) {
+			t.Fatalf("user %d can never be acknowledged", u)
+		}
+	}
+	// and the resource can always be released again
+	set, err := c.Check(ctl.MustParse("AG (a0 -> EF !a0)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.M.Implies(s.Init, set) {
+		t.Fatal("grant cannot be released")
+	}
+}
+
+func TestTreeArbiterShape(t *testing.T) {
+	n := TreeArbiter(2)
+	// 4 inputs, 3 ME elements, 3 OR gates + 4 ack gates
+	if len(n.Inputs) != 4 || len(n.Mutexes) != 3 {
+		t.Fatalf("shape wrong: %d inputs, %d mutexes", len(n.Inputs), len(n.Mutexes))
+	}
+	gates := map[string]bool{}
+	for _, g := range n.Gates {
+		gates[g.Name] = true
+	}
+	for _, want := range []string{"or1", "or2", "or3", "a0", "a1", "a2", "a3"} {
+		if !gates[want] {
+			t.Fatalf("gate %s missing", want)
+		}
+	}
+	spec := TreeArbiterMutexSpec(1)
+	if spec != "AG !(a0 & a1)" {
+		t.Fatalf("spec = %q", spec)
+	}
+}
+
+func TestTreeArbiterReachable(t *testing.T) {
+	s, err := TreeArbiter(2).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reach, _ := s.Reachable()
+	count := s.CountStates(reach)
+	if count < 100 {
+		t.Fatalf("suspiciously small reachable set: %v", count)
+	}
+	t.Logf("tree arbiter (4 users): %d nets, %.0f reachable states, %d fairness constraints",
+		len(s.Vars), count, len(s.Fair))
+}

@@ -1,0 +1,309 @@
+// Package ctl defines the abstract syntax of the branching-time temporal
+// logic CTL used by the model checker (Section 3 of the paper), a parser
+// for it, and the rewriting of universal path quantifiers into the
+// existential basis {EX, EU, EG} that the symbolic algorithms operate on.
+package ctl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind discriminates Formula nodes.
+type Kind int
+
+// Formula node kinds. The first group is propositional, the second the
+// existential temporal basis, the third the universal abbreviations that
+// Existential rewrites away, and the last the derived operators.
+const (
+	KTrue Kind = iota
+	KFalse
+	KAtom // boolean atomic proposition, by name
+	KEq   // Name = Value over a finite-domain variable
+	KNeq  // Name != Value
+	KNot
+	KAnd
+	KOr
+	KImp
+	KIff
+
+	KEX
+	KEU // E[L U R]
+	KEG
+
+	KAX
+	KAU // A[L U R]
+	KAG
+	KEF
+	KAF
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KTrue:
+		return "true"
+	case KFalse:
+		return "false"
+	case KAtom:
+		return "atom"
+	case KEq:
+		return "="
+	case KNeq:
+		return "!="
+	case KNot:
+		return "!"
+	case KAnd:
+		return "&"
+	case KOr:
+		return "|"
+	case KImp:
+		return "->"
+	case KIff:
+		return "<->"
+	case KEX:
+		return "EX"
+	case KEU:
+		return "EU"
+	case KEG:
+		return "EG"
+	case KAX:
+		return "AX"
+	case KAU:
+		return "AU"
+	case KAG:
+		return "AG"
+	case KEF:
+		return "EF"
+	case KAF:
+		return "AF"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Formula is a CTL formula node. Formulas are immutable after
+// construction; helpers below build them.
+type Formula struct {
+	Kind  Kind
+	Name  string // KAtom, KEq, KNeq: variable name
+	Value string // KEq, KNeq: right-hand constant
+	L, R  *Formula
+}
+
+// Constructors.
+
+// True is the constant true formula.
+func True() *Formula { return &Formula{Kind: KTrue} }
+
+// False is the constant false formula.
+func False() *Formula { return &Formula{Kind: KFalse} }
+
+// Atom is the atomic proposition named name.
+func Atom(name string) *Formula { return &Formula{Kind: KAtom, Name: name} }
+
+// Eq is the atomic proposition "name = value" over a finite-domain
+// variable.
+func Eq(name, value string) *Formula { return &Formula{Kind: KEq, Name: name, Value: value} }
+
+// Neq is the atomic proposition "name != value".
+func Neq(name, value string) *Formula { return &Formula{Kind: KNeq, Name: name, Value: value} }
+
+// Not negates f.
+func Not(f *Formula) *Formula { return &Formula{Kind: KNot, L: f} }
+
+// And conjoins l and r.
+func And(l, r *Formula) *Formula { return &Formula{Kind: KAnd, L: l, R: r} }
+
+// Or disjoins l and r.
+func Or(l, r *Formula) *Formula { return &Formula{Kind: KOr, L: l, R: r} }
+
+// Imp is l -> r.
+func Imp(l, r *Formula) *Formula { return &Formula{Kind: KImp, L: l, R: r} }
+
+// Iff is l <-> r.
+func Iff(l, r *Formula) *Formula { return &Formula{Kind: KIff, L: l, R: r} }
+
+// EX: f holds in some successor state.
+func EX(f *Formula) *Formula { return &Formula{Kind: KEX, L: f} }
+
+// EU: E[l U r] — along some path, l holds until r does.
+func EU(l, r *Formula) *Formula { return &Formula{Kind: KEU, L: l, R: r} }
+
+// EG: along some path f holds globally.
+func EG(f *Formula) *Formula { return &Formula{Kind: KEG, L: f} }
+
+// EF: along some path f eventually holds.
+func EF(f *Formula) *Formula { return &Formula{Kind: KEF, L: f} }
+
+// AX: f holds in every successor state.
+func AX(f *Formula) *Formula { return &Formula{Kind: KAX, L: f} }
+
+// AU: A[l U r] — along every path, l holds until r does.
+func AU(l, r *Formula) *Formula { return &Formula{Kind: KAU, L: l, R: r} }
+
+// AG: along every path f holds globally.
+func AG(f *Formula) *Formula { return &Formula{Kind: KAG, L: f} }
+
+// AF: along every path f eventually holds.
+func AF(f *Formula) *Formula { return &Formula{Kind: KAF, L: f} }
+
+// AndN folds And over fs; True when empty.
+func AndN(fs ...*Formula) *Formula {
+	if len(fs) == 0 {
+		return True()
+	}
+	out := fs[0]
+	for _, f := range fs[1:] {
+		out = And(out, f)
+	}
+	return out
+}
+
+// OrN folds Or over fs; False when empty.
+func OrN(fs ...*Formula) *Formula {
+	if len(fs) == 0 {
+		return False()
+	}
+	out := fs[0]
+	for _, f := range fs[1:] {
+		out = Or(out, f)
+	}
+	return out
+}
+
+// precedence for printing: higher binds tighter.
+func (f *Formula) prec() int {
+	switch f.Kind {
+	case KIff:
+		return 1
+	case KImp:
+		return 2
+	case KOr:
+		return 3
+	case KAnd:
+		return 4
+	case KNot, KEX, KEG, KAX, KAG, KEF, KAF:
+		return 5
+	default:
+		return 6
+	}
+}
+
+// String renders f in the concrete syntax accepted by Parse.
+func (f *Formula) String() string {
+	var sb strings.Builder
+	f.write(&sb, 0)
+	return sb.String()
+}
+
+func (f *Formula) write(sb *strings.Builder, outer int) {
+	p := f.prec()
+	if p < outer {
+		sb.WriteByte('(')
+	}
+	switch f.Kind {
+	case KTrue:
+		sb.WriteString("true")
+	case KFalse:
+		sb.WriteString("false")
+	case KAtom:
+		sb.WriteString(f.Name)
+	case KEq:
+		fmt.Fprintf(sb, "%s = %s", f.Name, f.Value)
+	case KNeq:
+		fmt.Fprintf(sb, "%s != %s", f.Name, f.Value)
+	case KNot:
+		sb.WriteByte('!')
+		f.L.write(sb, p)
+	case KAnd:
+		f.L.write(sb, p)
+		sb.WriteString(" & ")
+		f.R.write(sb, p+1)
+	case KOr:
+		f.L.write(sb, p)
+		sb.WriteString(" | ")
+		f.R.write(sb, p+1)
+	case KImp:
+		f.L.write(sb, p+1)
+		sb.WriteString(" -> ")
+		f.R.write(sb, p)
+	case KIff:
+		f.L.write(sb, p+1)
+		sb.WriteString(" <-> ")
+		f.R.write(sb, p+1)
+	case KEX, KEG, KAX, KAG, KEF, KAF:
+		sb.WriteString(f.Kind.String())
+		sb.WriteByte(' ')
+		f.L.write(sb, p)
+	case KEU:
+		sb.WriteString("E [")
+		f.L.write(sb, 0)
+		sb.WriteString(" U ")
+		f.R.write(sb, 0)
+		sb.WriteString("]")
+	case KAU:
+		sb.WriteString("A [")
+		f.L.write(sb, 0)
+		sb.WriteString(" U ")
+		f.R.write(sb, 0)
+		sb.WriteString("]")
+	}
+	if p < outer {
+		sb.WriteByte(')')
+	}
+}
+
+// Equal reports structural equality.
+func Equal(a, b *Formula) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Kind != b.Kind || a.Name != b.Name || a.Value != b.Value {
+		return false
+	}
+	return Equal(a.L, b.L) && Equal(a.R, b.R)
+}
+
+// Atoms returns the sorted set of atom/variable names appearing in f.
+func Atoms(f *Formula) []string {
+	set := map[string]bool{}
+	var walk func(*Formula)
+	walk = func(g *Formula) {
+		if g == nil {
+			return
+		}
+		if g.Kind == KAtom || g.Kind == KEq || g.Kind == KNeq {
+			set[g.Name] = true
+		}
+		walk(g.L)
+		walk(g.R)
+	}
+	walk(f)
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the number of nodes in f.
+func Size(f *Formula) int {
+	if f == nil {
+		return 0
+	}
+	return 1 + Size(f.L) + Size(f.R)
+}
+
+// IsPropositional reports whether f contains no temporal operators.
+func IsPropositional(f *Formula) bool {
+	if f == nil {
+		return true
+	}
+	switch f.Kind {
+	case KEX, KEU, KEG, KAX, KAU, KAG, KEF, KAF:
+		return false
+	}
+	return IsPropositional(f.L) && IsPropositional(f.R)
+}

@@ -1,0 +1,192 @@
+package ctl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBasics(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"true", "true"},
+		{"false", "false"},
+		{"p", "p"},
+		{"!p", "!p"},
+		{"p & q", "p & q"},
+		{"p | q & r", "p | q & r"},
+		{"(p | q) & r", "(p | q) & r"},
+		{"p -> q -> r", "p -> q -> r"}, // right assoc
+		{"p <-> q", "p <-> q"},
+		{"EX p", "EX p"},
+		{"EF p", "EF p"},
+		{"EG p", "EG p"},
+		{"AX p", "AX p"},
+		{"AF p", "AF p"},
+		{"AG p", "AG p"},
+		{"E [p U q]", "E [p U q]"},
+		{"A [p U q]", "A [p U q]"},
+		{"AG (req -> AF ack)", "AG (req -> AF ack)"},
+		{"state = busy", "state = busy"},
+		{"state != idle", "state != idle"},
+		{"x = 3", "x = 3"},
+		{"EG (p & EX q)", "EG (p & EX q)"},
+		{"E [p & q U r | s]", "E [p & q U r | s]"},
+	}
+	for _, c := range cases {
+		f, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.src, err)
+		}
+		if got := f.String(); got != c.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	srcs := []string{
+		"AG (tr1 -> AF ta1)",
+		"!(p -> EX (q & !r))",
+		"A [p | q U EG r]",
+		"E [E [a U b] U EG c]",
+		"AG AF (p <-> q)",
+		"EF (state = granting & EX state = idle)",
+	}
+	for _, s := range srcs {
+		f1, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		f2, err := Parse(f1.String())
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", f1.String(), err)
+		}
+		if !Equal(f1, f2) {
+			t.Errorf("round trip changed %q: %q", s, f2.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"p &",
+		"(p",
+		"E [p q]",
+		"E p U q]",
+		"AG",
+		"p @ q",
+		"p = ",
+		"->",
+		"p <- q",
+		"E [p U q", // missing ]
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestExistentialRewrites(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"AX p", "!EX !p"},
+		{"EF p", "E [true U p]"},
+		{"AF p", "!EG !p"},
+		{"AG p", "!E [true U !p]"},
+		{"A [p U q]", "!E [!q U !p & !q] & !EG !q"},
+		{"p -> q", "!p | q"},
+		{"p <-> q", "p & q | !p & !q"},
+		{"EX p", "EX p"},
+	}
+	for _, c := range cases {
+		f := MustParse(c.src)
+		g := Existential(f)
+		if got := g.String(); got != c.want {
+			t.Errorf("Existential(%q) = %q, want %q", c.src, got, c.want)
+		}
+		if !IsExistentialBasis(g) {
+			t.Errorf("Existential(%q) not in basis", c.src)
+		}
+	}
+}
+
+func TestExistentialDeep(t *testing.T) {
+	f := MustParse("AG (req -> AF ack)")
+	g := Existential(f)
+	if !IsExistentialBasis(g) {
+		t.Fatal("nested rewrite left non-basis operators")
+	}
+	if strings.Contains(g.String(), "AG") || strings.Contains(g.String(), "AF") {
+		t.Fatalf("universal operators survive: %s", g)
+	}
+}
+
+func TestPushNegations(t *testing.T) {
+	f := MustParse("!(p & !q)")
+	g := PushNegations(Existential(f))
+	if g.String() != "!p | q" {
+		t.Fatalf("PushNegations = %q", g)
+	}
+	// Temporal operators block the negation.
+	h := PushNegations(Existential(MustParse("!EG p")))
+	if h.String() != "!EG p" {
+		t.Fatalf("PushNegations EG = %q", h)
+	}
+	// Double negation cancels through.
+	d := PushNegations(Existential(MustParse("!!EX p")))
+	if d.String() != "EX p" {
+		t.Fatalf("double negation = %q", d)
+	}
+}
+
+func TestAtoms(t *testing.T) {
+	f := MustParse("AG (b -> AF (a & state = busy))")
+	got := Atoms(f)
+	want := []string{"a", "b", "state"}
+	if len(got) != len(want) {
+		t.Fatalf("Atoms = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Atoms = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAndNOrN(t *testing.T) {
+	if AndN().String() != "true" || OrN().String() != "false" {
+		t.Fatal("empty fold wrong")
+	}
+	f := AndN(Atom("a"), Atom("b"), Atom("c"))
+	if f.String() != "a & b & c" {
+		t.Fatalf("AndN = %s", f)
+	}
+}
+
+func TestIsPropositional(t *testing.T) {
+	if !IsPropositional(MustParse("p & (q | !r)")) {
+		t.Fatal("propositional misclassified")
+	}
+	if IsPropositional(MustParse("p & EX q")) {
+		t.Fatal("temporal misclassified")
+	}
+}
+
+func TestSizeAndEqual(t *testing.T) {
+	f := MustParse("EX (p & q)")
+	if Size(f) != 4 {
+		t.Fatalf("Size = %d", Size(f))
+	}
+	if !Equal(f, MustParse("EX (p & q)")) {
+		t.Fatal("Equal false negative")
+	}
+	if Equal(f, MustParse("EX (p | q)")) {
+		t.Fatal("Equal false positive")
+	}
+}

@@ -1,0 +1,253 @@
+package ctl
+
+import "fmt"
+
+// Parse parses the concrete CTL syntax:
+//
+//	f ::= f '<->' f            (lowest precedence)
+//	    | f '->' f             (right associative)
+//	    | f '|' f
+//	    | f '&' f
+//	    | '!' f
+//	    | 'EX' f | 'EF' f | 'EG' f | 'AX' f | 'AF' f | 'AG' f
+//	    | 'E' '[' f 'U' f ']' | 'A' '[' f 'U' f ']'
+//	    | ident | ident '=' const | ident '!=' const
+//	    | 'true' | 'false' | '(' f ')'
+//
+// Identifiers may contain letters, digits, '_' and '.'.
+func Parse(src string) (*Formula, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f, err := p.iff()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tEOF {
+		return nil, fmt.Errorf("ctl: unexpected %s after formula", p.cur())
+	}
+	return f, nil
+}
+
+// MustParse parses src and panics on error; intended for tests and
+// compile-time-constant specifications.
+func MustParse(src string) *Formula {
+	f, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	if p.cur().kind != k {
+		return token{}, fmt.Errorf("ctl: expected %s, found %s", what, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) iff() (*Formula, error) {
+	l, err := p.imp()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tIff {
+		p.next()
+		r, err := p.imp()
+		if err != nil {
+			return nil, err
+		}
+		l = Iff(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) imp() (*Formula, error) {
+	l, err := p.or()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tImp {
+		p.next()
+		r, err := p.imp() // right associative
+		if err != nil {
+			return nil, err
+		}
+		return Imp(l, r), nil
+	}
+	return l, nil
+}
+
+func (p *parser) or() (*Formula, error) {
+	l, err := p.and()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tOr {
+		p.next()
+		r, err := p.and()
+		if err != nil {
+			return nil, err
+		}
+		l = Or(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) and() (*Formula, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tAnd {
+		p.next()
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = And(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) unary() (*Formula, error) {
+	t := p.cur()
+	switch t.kind {
+	case tNot:
+		p.next()
+		f, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return Not(f), nil
+	case tLParen:
+		p.next()
+		f, err := p.iff()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	case tIdent:
+		return p.identLed()
+	}
+	return nil, fmt.Errorf("ctl: unexpected %s", t)
+}
+
+// identLed handles everything that starts with an identifier: temporal
+// operator keywords, E[..U..]/A[..U..], constants, and (in)equality atoms.
+func (p *parser) identLed() (*Formula, error) {
+	t := p.next()
+	switch t.text {
+	case "true", "TRUE":
+		return True(), nil
+	case "false", "FALSE":
+		return False(), nil
+	case "EX", "EF", "EG", "AX", "AF", "AG":
+		f, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		switch t.text {
+		case "EX":
+			return EX(f), nil
+		case "EF":
+			return EF(f), nil
+		case "EG":
+			return EG(f), nil
+		case "AX":
+			return AX(f), nil
+		case "AF":
+			return AF(f), nil
+		default:
+			return AG(f), nil
+		}
+	case "E", "A":
+		if _, err := p.expect(tLBracket, "'['"); err != nil {
+			return nil, err
+		}
+		l, err := p.untilOperand()
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.iff()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRBracket, "']'"); err != nil {
+			return nil, err
+		}
+		if t.text == "E" {
+			return EU(l, r), nil
+		}
+		return AU(l, r), nil
+	}
+	// plain atom, possibly followed by =/!= constant
+	switch p.cur().kind {
+	case tEq:
+		p.next()
+		v, err := p.constOperand()
+		if err != nil {
+			return nil, err
+		}
+		return Eq(t.text, v), nil
+	case tNeq:
+		p.next()
+		v, err := p.constOperand()
+		if err != nil {
+			return nil, err
+		}
+		return Neq(t.text, v), nil
+	}
+	return Atom(t.text), nil
+}
+
+// untilOperand parses the left operand of U up to the 'U' keyword.
+func (p *parser) untilOperand() (*Formula, error) {
+	// Parse an iff-level formula, then require the identifier "U".
+	// Because "U" lexes as an identifier, we parse with a shim: parse
+	// ors/ands greedily; an identifier token "U" terminates the operand.
+	f, err := p.iffUntil()
+	if err != nil {
+		return nil, err
+	}
+	t, err := p.expect(tIdent, "'U'")
+	if err != nil {
+		return nil, err
+	}
+	if t.text != "U" {
+		return nil, fmt.Errorf("ctl: expected 'U' in until, found %q", t.text)
+	}
+	return f, nil
+}
+
+// iffUntil parses like iff but stops before a bare identifier token "U".
+func (p *parser) iffUntil() (*Formula, error) {
+	// Mark-and-restore parse: temporarily rewrite is unnecessary because
+	// "U" only ever follows a complete operand; the grammar is such that
+	// after a complete formula an identifier cannot continue it, so plain
+	// iff() already stops before "U".
+	return p.iff()
+}
+
+// constOperand parses the right-hand side of =/!=.
+func (p *parser) constOperand() (string, error) {
+	t := p.cur()
+	if t.kind == tIdent || t.kind == tNumber {
+		p.next()
+		return t.text, nil
+	}
+	return "", fmt.Errorf("ctl: expected constant after comparison, found %s", t)
+}

@@ -1,0 +1,128 @@
+package ctl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomFormula builds a random CTL formula over a fixed atom set.
+func randomFormula(r *rand.Rand, depth int) *Formula {
+	atoms := []string{"p", "q", "r_1", "sig.a"}
+	if depth == 0 || r.Intn(4) == 0 {
+		switch r.Intn(5) {
+		case 0:
+			return True()
+		case 1:
+			return False()
+		case 2:
+			return Eq("state", "busy")
+		case 3:
+			return Neq("n", "3")
+		default:
+			return Atom(atoms[r.Intn(len(atoms))])
+		}
+	}
+	a := randomFormula(r, depth-1)
+	b := randomFormula(r, depth-1)
+	switch r.Intn(12) {
+	case 0:
+		return Not(a)
+	case 1:
+		return And(a, b)
+	case 2:
+		return Or(a, b)
+	case 3:
+		return Imp(a, b)
+	case 4:
+		return Iff(a, b)
+	case 5:
+		return EX(a)
+	case 6:
+		return EF(a)
+	case 7:
+		return EG(a)
+	case 8:
+		return AX(a)
+	case 9:
+		return AF(a)
+	case 10:
+		return AG(a)
+	default:
+		if r.Intn(2) == 0 {
+			return EU(a, b)
+		}
+		return AU(a, b)
+	}
+}
+
+// TestPropParsePrintRoundTrip: printing then reparsing any formula is
+// the identity (structurally).
+func TestPropParsePrintRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(1))}
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randomFormula(r, 5)
+		g, err := Parse(f.String())
+		if err != nil {
+			t.Logf("formula %q failed to reparse: %v", f, err)
+			return false
+		}
+		if !Equal(f, g) {
+			t.Logf("round trip changed %q into %q", f, g)
+			return false
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropExistentialIdempotent: rewriting twice equals rewriting once.
+func TestPropExistentialIdempotent(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(2))}
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randomFormula(r, 4)
+		once := Existential(f)
+		twice := Existential(once)
+		return Equal(once, twice) && IsExistentialBasis(once)
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropPushNegationsPreservesBasis: NNF keeps the basis and is
+// idempotent.
+func TestPropPushNegationsPreservesBasis(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(3))}
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := Existential(randomFormula(r, 4))
+		nnf := PushNegations(f)
+		if !IsExistentialBasis(nnf) {
+			return false
+		}
+		return Equal(PushNegations(nnf), nnf)
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropRewriteRoundTripThroughPrinter: the rewritten formula also
+// survives print/parse.
+func TestPropRewriteRoundTripThroughPrinter(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(4))}
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := Existential(randomFormula(r, 4))
+		g, err := Parse(f.String())
+		return err == nil && Equal(f, g)
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,130 @@
+package ctl
+
+// Existential rewrites a CTL formula into the basis {¬, ∧, ∨, EX, EU, EG}
+// using the dualities of Section 3:
+//
+//	AX f      ≡ ¬EX ¬f
+//	EF f      ≡ E[true U f]
+//	AF f      ≡ ¬EG ¬f
+//	AG f      ≡ ¬E[true U ¬f]
+//	A[f U g]  ≡ ¬E[¬g U ¬f ∧ ¬g] ∧ ¬EG ¬g
+//	f -> g    ≡ ¬f ∨ g
+//	f <-> g   ≡ (f ∧ g) ∨ (¬f ∧ ¬g)
+//
+// The result contains only KTrue, KFalse, KAtom, KEq, KNeq, KNot, KAnd,
+// KOr, KEX, KEU and KEG nodes.
+func Existential(f *Formula) *Formula {
+	if f == nil {
+		return nil
+	}
+	switch f.Kind {
+	case KTrue, KFalse, KAtom, KEq, KNeq:
+		return f
+	case KNot:
+		return Not(Existential(f.L))
+	case KAnd:
+		return And(Existential(f.L), Existential(f.R))
+	case KOr:
+		return Or(Existential(f.L), Existential(f.R))
+	case KImp:
+		return Or(Not(Existential(f.L)), Existential(f.R))
+	case KIff:
+		l, r := Existential(f.L), Existential(f.R)
+		return Or(And(l, r), And(Not(l), Not(r)))
+	case KEX:
+		return EX(Existential(f.L))
+	case KEU:
+		return EU(Existential(f.L), Existential(f.R))
+	case KEG:
+		return EG(Existential(f.L))
+	case KEF:
+		return EU(True(), Existential(f.L))
+	case KAX:
+		return Not(EX(Not(Existential(f.L))))
+	case KAF:
+		return Not(EG(Not(Existential(f.L))))
+	case KAG:
+		return Not(EU(True(), Not(Existential(f.L))))
+	case KAU:
+		l, r := Existential(f.L), Existential(f.R)
+		ng := Not(r)
+		return And(
+			Not(EU(ng, And(Not(l), ng))),
+			Not(EG(ng)),
+		)
+	default:
+		panic("ctl: Existential: unknown kind " + f.Kind.String())
+	}
+}
+
+// IsExistentialBasis reports whether f only uses the existential basis
+// (the output language of Existential).
+func IsExistentialBasis(f *Formula) bool {
+	if f == nil {
+		return true
+	}
+	switch f.Kind {
+	case KTrue, KFalse, KAtom, KEq, KNeq, KNot, KAnd, KOr, KEX, KEU, KEG:
+		return IsExistentialBasis(f.L) && IsExistentialBasis(f.R)
+	}
+	return false
+}
+
+// PushNegations converts a basis formula to negation normal form over
+// literals and temporal operators where possible; temporal operators
+// block negations (¬EX, ¬EU, ¬EG stay as-is). Used by the counterexample
+// driver to expose the top-level witness obligation.
+func PushNegations(f *Formula) *Formula {
+	return pushNeg(f, false)
+}
+
+func pushNeg(f *Formula, neg bool) *Formula {
+	if f == nil {
+		return nil
+	}
+	switch f.Kind {
+	case KTrue:
+		if neg {
+			return False()
+		}
+		return f
+	case KFalse:
+		if neg {
+			return True()
+		}
+		return f
+	case KAtom, KEq, KNeq:
+		if neg {
+			return Not(f)
+		}
+		return f
+	case KNot:
+		return pushNeg(f.L, !neg)
+	case KAnd:
+		if neg {
+			return Or(pushNeg(f.L, true), pushNeg(f.R, true))
+		}
+		return And(pushNeg(f.L, false), pushNeg(f.R, false))
+	case KOr:
+		if neg {
+			return And(pushNeg(f.L, true), pushNeg(f.R, true))
+		}
+		return Or(pushNeg(f.L, false), pushNeg(f.R, false))
+	case KEX, KEU, KEG:
+		var g *Formula
+		switch f.Kind {
+		case KEX:
+			g = EX(pushNeg(f.L, false))
+		case KEU:
+			g = EU(pushNeg(f.L, false), pushNeg(f.R, false))
+		default:
+			g = EG(pushNeg(f.L, false))
+		}
+		if neg {
+			return Not(g)
+		}
+		return g
+	default:
+		panic("ctl: PushNegations expects existential basis, got " + f.Kind.String())
+	}
+}

@@ -1,0 +1,142 @@
+package ctl
+
+// Simplify applies semantics-preserving rewrites to a formula before
+// checking: constant folding, double-negation elimination, idempotence
+// and absorption of the boolean connectives, and the temporal-operator
+// rules that remain sound under FAIR semantics (Section 5 restricts the
+// path quantifiers to fair paths, so rules like "EF true = true" or
+// "E[f U true] = true" would be wrong: a state that starts no fair path
+// satisfies neither). Smaller formulas mean fewer fixpoint computations
+// and more memo hits in the checker; the tests verify semantic
+// preservation against the checker itself on random models with and
+// without fairness constraints.
+func Simplify(f *Formula) *Formula {
+	if f == nil {
+		return nil
+	}
+	l := Simplify(f.L)
+	r := Simplify(f.R)
+	switch f.Kind {
+	case KTrue, KFalse, KAtom, KEq, KNeq:
+		return f
+	case KNot:
+		switch l.Kind {
+		case KTrue:
+			return False()
+		case KFalse:
+			return True()
+		case KNot:
+			return l.L
+		}
+		return Not(l)
+	case KAnd:
+		switch {
+		case l.Kind == KFalse || r.Kind == KFalse:
+			return False()
+		case l.Kind == KTrue:
+			return r
+		case r.Kind == KTrue:
+			return l
+		case Equal(l, r):
+			return l
+		case l.Kind == KNot && Equal(l.L, r), r.Kind == KNot && Equal(r.L, l):
+			return False()
+		}
+		return And(l, r)
+	case KOr:
+		switch {
+		case l.Kind == KTrue || r.Kind == KTrue:
+			return True()
+		case l.Kind == KFalse:
+			return r
+		case r.Kind == KFalse:
+			return l
+		case Equal(l, r):
+			return l
+		case l.Kind == KNot && Equal(l.L, r), r.Kind == KNot && Equal(r.L, l):
+			return True()
+		}
+		return Or(l, r)
+	case KImp:
+		switch {
+		case l.Kind == KFalse || r.Kind == KTrue:
+			return True()
+		case l.Kind == KTrue:
+			return r
+		case r.Kind == KFalse:
+			return Simplify(Not(l))
+		case Equal(l, r):
+			return True()
+		}
+		return Imp(l, r)
+	case KIff:
+		switch {
+		case l.Kind == KTrue:
+			return r
+		case r.Kind == KTrue:
+			return l
+		case l.Kind == KFalse:
+			return Simplify(Not(r))
+		case r.Kind == KFalse:
+			return Simplify(Not(l))
+		case Equal(l, r):
+			return True()
+		}
+		return Iff(l, r)
+	case KEX:
+		if l.Kind == KFalse {
+			return False()
+		}
+		return EX(l)
+	case KAX:
+		if l.Kind == KTrue {
+			return True()
+		}
+		return AX(l)
+	case KEF:
+		switch l.Kind {
+		case KFalse:
+			return False()
+		case KEF: // EF EF f = EF f (holds under fairness too)
+			return l
+		}
+		return EF(l)
+	case KAF:
+		switch l.Kind {
+		case KTrue:
+			return True()
+		case KAF:
+			return l
+		}
+		return AF(l)
+	case KEG:
+		switch l.Kind {
+		case KFalse:
+			return False()
+		case KEG:
+			return l
+		}
+		return EG(l)
+	case KAG:
+		switch l.Kind {
+		case KTrue:
+			return True()
+		case KAG:
+			return l
+		}
+		return AG(l)
+	case KEU:
+		switch {
+		case r.Kind == KFalse:
+			return False()
+		case l.Kind == KTrue:
+			return Simplify(EF(r)) // definitional
+		}
+		return EU(l, r)
+	case KAU:
+		// No constant rules: A[f U false] is vacuously TRUE at states
+		// that start no fair path, so it is not constant under fairness.
+		return AU(l, r)
+	}
+	return f
+}

@@ -1,0 +1,79 @@
+package ctl
+
+import (
+	"testing"
+)
+
+func TestSimplifyRules(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"!!p", "p"},
+		{"!true", "false"},
+		{"p & true", "p"},
+		{"p & false", "false"},
+		{"p | false", "p"},
+		{"p | true", "true"},
+		{"p & p", "p"},
+		{"p | p", "p"},
+		{"p & !p", "false"},
+		{"p | !p", "true"},
+		{"p -> p", "true"},
+		{"true -> p", "p"},
+		{"p -> false", "!p"},
+		{"p <-> true", "p"},
+		{"p <-> p", "true"},
+		{"EX false", "false"},
+		{"AX true", "true"},
+		{"EF false", "false"},
+		{"EF EF p", "EF p"},
+		{"AF true", "true"},
+		{"AF AF p", "AF p"},
+		{"EG false", "false"},
+		{"EG EG p", "EG p"},
+		{"AG true", "true"},
+		{"AG AG p", "AG p"},
+		{"E [p U false]", "false"},
+		{"E [true U p]", "EF p"},
+		{"AG (p & true -> AF (q | false))", "AG (p -> AF q)"},
+	}
+	for _, c := range cases {
+		got := Simplify(MustParse(c.in))
+		if got.String() != c.want {
+			t.Errorf("Simplify(%q) = %q, want %q", c.in, got.String(), c.want)
+		}
+	}
+}
+
+func TestSimplifyKeepsFairnessSensitiveFormulas(t *testing.T) {
+	// these must NOT be folded to constants: under fair semantics they
+	// are not constant.
+	keep := []string{
+		"EF true",
+		"EG true",
+		"AF false",
+		"AG false",
+		"E [p U true]",
+		"A [p U false]",
+	}
+	for _, src := range keep {
+		f := MustParse(src)
+		got := Simplify(f)
+		if got.Kind == KTrue || got.Kind == KFalse {
+			t.Errorf("Simplify(%q) folded to a constant (%s) — unsound under fairness", src, got)
+		}
+	}
+}
+
+func TestSimplifyIdempotent(t *testing.T) {
+	srcs := []string{
+		"AG (p & true -> AF (q | false))",
+		"!!(EX false | EG EG p)",
+		"E [true U (p & p)]",
+	}
+	for _, src := range srcs {
+		once := Simplify(MustParse(src))
+		twice := Simplify(once)
+		if !Equal(once, twice) {
+			t.Errorf("Simplify not idempotent on %q: %s vs %s", src, once, twice)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package ctlstar
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ctl"
+)
+
+// Parse reads the concrete fragment syntax
+//
+//	E (GF p | FG q) & (GF (r & s)) & ...
+//
+// Each clause is parenthesized; terms are separated by '|'; a term is
+// 'GF' or 'FG' followed by a CTL state formula (parenthesize compound
+// arguments). The leading 'E' is optional.
+func Parse(src string) (Formula, error) {
+	s := strings.TrimSpace(src)
+	if strings.HasPrefix(s, "E ") || strings.HasPrefix(s, "E(") {
+		s = strings.TrimSpace(s[1:])
+	}
+	clauseSrcs, err := splitTop(s, '&')
+	if err != nil {
+		return nil, err
+	}
+	var f Formula
+	for _, cs := range clauseSrcs {
+		cs = strings.TrimSpace(cs)
+		cs = stripOuterParens(cs)
+		termSrcs, err := splitTop(cs, '|')
+		if err != nil {
+			return nil, err
+		}
+		var cl Clause
+		for _, ts := range termSrcs {
+			ts = strings.TrimSpace(ts)
+			var gf bool
+			switch {
+			case strings.HasPrefix(ts, "GF"):
+				gf = true
+			case strings.HasPrefix(ts, "FG"):
+				gf = false
+			default:
+				return nil, fmt.Errorf("ctlstar: term %q must start with GF or FG", ts)
+			}
+			arg, err := ctl.Parse(strings.TrimSpace(ts[2:]))
+			if err != nil {
+				return nil, fmt.Errorf("ctlstar: term %q: %w", ts, err)
+			}
+			cl = append(cl, Term{GF: gf, Arg: arg})
+		}
+		if len(cl) == 0 {
+			return nil, fmt.Errorf("ctlstar: empty clause in %q", src)
+		}
+		f = append(f, cl)
+	}
+	if len(f) == 0 {
+		return nil, fmt.Errorf("ctlstar: empty formula")
+	}
+	return f, nil
+}
+
+// MustParse is Parse, panicking on error.
+func MustParse(src string) Formula {
+	f, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// splitTop splits src on sep occurring at parenthesis depth 0.
+func splitTop(src string, sep byte) ([]string, error) {
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(src); i++ {
+		switch src[i] {
+		case '(', '[':
+			depth++
+		case ')', ']':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("ctlstar: unbalanced parentheses in %q", src)
+			}
+		default:
+			if depth == 0 && src[i] == sep {
+				out = append(out, src[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("ctlstar: unbalanced parentheses in %q", src)
+	}
+	out = append(out, src[start:])
+	return out, nil
+}
+
+// stripOuterParens removes one pair of enclosing parentheses if they
+// wrap the entire string.
+func stripOuterParens(s string) string {
+	if len(s) < 2 || s[0] != '(' || s[len(s)-1] != ')' {
+		return s
+	}
+	depth := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth == 0 && i != len(s)-1 {
+				return s
+			}
+		}
+	}
+	return strings.TrimSpace(s[1 : len(s)-1])
+}

@@ -1,0 +1,178 @@
+// Package experiments implements the reproduction harness: one function
+// per evaluation artifact of the paper (see DESIGN.md §2), each
+// returning a Report with paper-reported vs. measured values. The
+// cmd/experiments binary prints them; the root bench_test.go benchmarks
+// the same workloads.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/bdd"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/ctl"
+	"repro/internal/kripke"
+	"repro/internal/mc"
+)
+
+// Row is one paper-vs-measured comparison.
+type Row struct {
+	Name     string
+	Paper    string
+	Measured string
+}
+
+// Report is the outcome of one experiment.
+type Report struct {
+	ID    string
+	Title string
+	Rows  []Row
+	Notes []string
+	Err   error
+}
+
+func (r *Report) add(name, paper, measured string) {
+	r.Rows = append(r.Rows, Row{Name: name, Paper: paper, Measured: measured})
+}
+
+func (r *Report) note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the report as an EXPERIMENTS.md-ready block.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "## %s — %s\n\n", r.ID, r.Title)
+	if r.Err != nil {
+		fmt.Fprintf(&sb, "**FAILED**: %v\n", r.Err)
+		return sb.String()
+	}
+	sb.WriteString("| quantity | paper | measured |\n|---|---|---|\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "| %s | %s | %s |\n", row.Name, row.Paper, row.Measured)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "\n%s\n", n)
+	}
+	return sb.String()
+}
+
+// E1Arbiter reproduces the Section 6 case study: the Seitz arbiter,
+// reachable-state count, and the AG(tr1 -> AF ta1) counterexample.
+func E1Arbiter() *Report {
+	r := &Report{ID: "E1", Title: "Seitz arbiter case study (Section 6, Figure 3)"}
+	start := time.Now()
+	model, err := circuit.SeitzArbiter().Compile()
+	if err != nil {
+		r.Err = err
+		return r
+	}
+	reach, iters := model.Reachable()
+	count := model.CountStates(reach)
+
+	gen := core.NewGenerator(mc.New(model))
+	holds, tr, err := gen.CounterexampleInit(ctl.MustParse("AG (tr1 -> AF ta1)"))
+	if err != nil {
+		r.Err = err
+		return r
+	}
+	if holds {
+		r.Err = fmt.Errorf("the arbiter bug was not found")
+		return r
+	}
+	if err := core.ValidatePath(model, tr); err != nil {
+		r.Err = fmt.Errorf("counterexample invalid: %w", err)
+		return r
+	}
+	elapsed := time.Since(start)
+
+	r.add("verification outcome", "AG(tr1 -> AF ta1) false", "AG(tr1 -> AF ta1) false")
+	r.add("reachable states", "33,633", fmt.Sprintf("%.0f (reconstructed netlist, %d BFS iterations)", count, iters))
+	r.add("counterexample length", "78 states", fmt.Sprintf("%d states", tr.Len()))
+	r.add("cycle length", "30", fmt.Sprintf("%d", tr.CycleLen()))
+	r.add("wall time", "\"a few minutes\" (1994)", fmt.Sprintf("%.3fs", elapsed.Seconds()))
+	r.note("The exact Figure 3 netlist is not recoverable from the text; the "+
+		"reconstruction reproduces the narrated failure mechanism (stale ME grant, "+
+		"slow OR1, tr1 re-raised with ta1 low, ur1 withdrawn). Absolute counts are "+
+		"netlist-specific. Counterexample validated: %d fairness constraints hit on the cycle.",
+		len(model.Fair))
+	return r
+}
+
+// figure1Model and figure2Model mirror the test models: one-SCC and
+// three-SCC witness scenarios.
+func figure1Model() *kripke.Explicit {
+	e := kripke.NewExplicit(3)
+	e.AddEdge(0, 1)
+	e.AddEdge(1, 2)
+	e.AddEdge(2, 0)
+	e.AddInit(0)
+	e.AddFairSet("h1", []bool{false, true, false})
+	e.AddFairSet("h2", []bool{false, false, true})
+	return e
+}
+
+func figure2Model() *kripke.Explicit {
+	e := kripke.NewExplicit(6)
+	e.AddEdge(0, 1)
+	e.AddEdge(1, 0)
+	e.AddEdge(2, 3)
+	e.AddEdge(3, 2)
+	e.AddEdge(4, 5)
+	e.AddEdge(5, 4)
+	e.AddEdge(1, 2)
+	e.AddEdge(3, 4)
+	e.AddInit(0)
+	e.AddFairSet("h1", []bool{false, true, false, true, true, false})
+	e.AddFairSet("h2", []bool{false, false, false, false, false, true})
+	return e
+}
+
+// E2SingleSCC reproduces Figure 1: the witness cycle closes inside one
+// strongly connected component, with no restart.
+func E2SingleSCC() *Report {
+	r := &Report{ID: "E2", Title: "Witness within a single SCC (Figure 1)"}
+	s := kripke.FromExplicit(figure1Model())
+	gen := core.NewGenerator(mc.New(s))
+	tr, err := gen.WitnessEG(bdd.True, kripke.IndexState(0, len(s.Vars)))
+	if err != nil {
+		r.Err = err
+		return r
+	}
+	if err := core.ValidateEG(s, tr, bdd.True); err != nil {
+		r.Err = err
+		return r
+	}
+	r.add("cycle closes on first attempt", "yes (Figure 1 scenario)", fmt.Sprintf("restarts = %d", gen.Stats.Restarts))
+	r.add("witness shape", "prefix + cycle through all constraints",
+		fmt.Sprintf("prefix %d, cycle %d, %d constraints hit", tr.PrefixLen(), tr.CycleLen(), len(tr.FairHits)))
+	return r
+}
+
+// E3MultiSCC reproduces Figure 2: the walk restarts and descends the
+// SCC DAG into the terminal component.
+func E3MultiSCC() *Report {
+	r := &Report{ID: "E3", Title: "Witness spanning three SCCs (Figure 2)"}
+	s := kripke.FromExplicit(figure2Model())
+	for _, strat := range []core.Strategy{core.StrategySimple, core.StrategyPrecompute} {
+		gen := core.NewGenerator(mc.New(s))
+		gen.Strategy = strat
+		tr, err := gen.WitnessEG(bdd.True, kripke.IndexState(0, len(s.Vars)))
+		if err != nil {
+			r.Err = err
+			return r
+		}
+		if err := core.ValidateEG(s, tr, bdd.True); err != nil {
+			r.Err = err
+			return r
+		}
+		r.add(fmt.Sprintf("strategy=%s", strat),
+			"walk descends the SCC DAG, cycle in terminal SCC",
+			fmt.Sprintf("restarts=%d earlyExits=%d witness=%d states (prefix %d, cycle %d)",
+				gen.Stats.Restarts, gen.Stats.EarlyExits, tr.Len(), tr.PrefixLen(), tr.CycleLen()))
+	}
+	return r
+}

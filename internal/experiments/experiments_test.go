@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFastExperimentsSucceed runs every experiment except the slow
+// enumeration ones and asserts none fails; the report rendering is also
+// sanity-checked. E7/E11 are exercised with reduced sizes.
+func TestFastExperimentsSucceed(t *testing.T) {
+	reports := []*Report{
+		E1Arbiter(),
+		E2SingleSCC(),
+		E3MultiSCC(),
+		E4MinimalVsHeuristic(5, 8),
+		E6Containment(),
+		E8RestartStrategies(4),
+		E9Explicit(5),
+		E10Compaction(),
+	}
+	for _, r := range reports {
+		if r.Err != nil {
+			t.Fatalf("%s failed: %v", r.ID, r.Err)
+		}
+		out := r.String()
+		if !strings.Contains(out, "## "+r.ID) || !strings.Contains(out, "| quantity |") {
+			t.Fatalf("%s: malformed report:\n%s", r.ID, out)
+		}
+		if len(r.Rows) == 0 {
+			t.Fatalf("%s: no rows", r.ID)
+		}
+	}
+}
+
+func TestE5CTLStar(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := E5CTLStar()
+	if r.Err != nil {
+		t.Fatalf("E5 failed: %v", r.Err)
+	}
+}
+
+func TestE7SmallScale(t *testing.T) {
+	r := E7SymbolicVsExplicit(1, 20000)
+	if r.Err != nil {
+		t.Fatalf("E7 failed: %v", r.Err)
+	}
+	if len(r.Rows) != 1 {
+		t.Fatalf("expected one row, got %d", len(r.Rows))
+	}
+}
+
+func TestE11SmallScale(t *testing.T) {
+	// run only k=1 by constructing directly... E11 is fixed at {1,2};
+	// keep the full version but allow it time.
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := E11PartitionedTrans()
+	if r.Err != nil {
+		t.Fatalf("E11 failed: %v", r.Err)
+	}
+}
+
+func TestAllEntriesWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Run == nil {
+			t.Fatal("malformed entry")
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	for _, want := range []string{"E1", "E7", "E11"} {
+		if !seen[want] {
+			t.Fatalf("experiment %s missing from All()", want)
+		}
+	}
+}
+
+func TestReportErrorRendering(t *testing.T) {
+	r := &Report{ID: "EX", Title: "t"}
+	r.Err = errString("boom")
+	if !strings.Contains(r.String(), "FAILED") {
+		t.Fatal("error reports must render FAILED")
+	}
+}
+
+type errString string
+
+func (e errString) Error() string { return string(e) }

@@ -1,0 +1,229 @@
+package explicit
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ctl"
+	"repro/internal/kripke"
+)
+
+func TestSCCBasics(t *testing.T) {
+	// 0 <-> 1, 2 -> 0, 3 isolated self-loop
+	succ := [][]int{{1}, {0}, {0}, {3}}
+	sub := []bool{true, true, true, true}
+	comp, n := SCC(succ, sub)
+	if n != 3 {
+		t.Fatalf("want 3 SCCs, got %d (%v)", n, comp)
+	}
+	if comp[0] != comp[1] {
+		t.Fatal("0 and 1 must share a component")
+	}
+	if comp[2] == comp[0] || comp[3] == comp[0] {
+		t.Fatal("2 and 3 must be separate")
+	}
+	// reverse-topological numbering: successors have smaller ids
+	if comp[2] < comp[0] {
+		t.Fatal("component of 2 must come after (be larger than) component of {0,1}")
+	}
+}
+
+func TestSCCSubgraph(t *testing.T) {
+	// full cycle 0->1->2->0 but with 1 excluded: no cycle remains.
+	succ := [][]int{{1}, {2}, {0}}
+	sub := []bool{true, false, true}
+	nt := NontrivialSCCStates(succ, sub)
+	for s, v := range nt {
+		if v {
+			t.Fatalf("state %d should not be in a nontrivial SCC", s)
+		}
+	}
+	// include everyone: all three are.
+	sub = []bool{true, true, true}
+	nt = NontrivialSCCStates(succ, sub)
+	for s, v := range nt {
+		if !v {
+			t.Fatalf("state %d should be in the cycle", s)
+		}
+	}
+}
+
+func TestSelfLoopIsNontrivial(t *testing.T) {
+	succ := [][]int{{0}, {0}}
+	nt := NontrivialSCCStates(succ, []bool{true, true})
+	if !nt[0] || nt[1] {
+		t.Fatalf("self-loop detection wrong: %v", nt)
+	}
+}
+
+func TestDeepGraphNoStackOverflow(t *testing.T) {
+	// A long chain ending in a cycle exercises the iterative Tarjan.
+	const n = 200000
+	e := kripke.NewExplicit(n)
+	for i := 0; i < n-1; i++ {
+		e.AddEdge(i, i+1)
+	}
+	e.AddEdge(n-1, n-2)
+	sub := make([]bool, n)
+	for i := range sub {
+		sub[i] = true
+	}
+	comp, ncomp := SCC(e.Succ, sub)
+	if ncomp != n-1 {
+		t.Fatalf("want %d components, got %d", n-1, ncomp)
+	}
+	if comp[n-1] != comp[n-2] {
+		t.Fatal("final two states must form one SCC")
+	}
+}
+
+func TestCheckerBasicOperators(t *testing.T) {
+	// 0 -> 1 -> 2 -> 1, p at 1, q at 2.
+	e := kripke.NewExplicit(3)
+	e.AddEdge(0, 1)
+	e.AddEdge(1, 2)
+	e.AddEdge(2, 1)
+	e.Label(1, "p")
+	e.Label(2, "q")
+	e.AddInit(0)
+	c := New(e)
+
+	cases := []struct {
+		src  string
+		want []bool
+	}{
+		{"p", []bool{false, true, false}},
+		{"!p", []bool{true, false, true}},
+		{"EX p", []bool{true, false, true}},
+		{"EF q", []bool{true, true, true}},
+		{"EG (p | q)", []bool{false, true, true}},
+		{"E [p U q]", []bool{false, true, true}},
+		{"AF q", []bool{true, true, true}},
+		{"AG (p | q)", []bool{false, true, true}},
+		{"A [true U q]", []bool{true, true, true}},
+	}
+	for _, tc := range cases {
+		got, err := c.Check(ctl.MustParse(tc.src))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.src, err)
+		}
+		for s := range tc.want {
+			if got[s] != tc.want[s] {
+				t.Fatalf("%s at state %d: got %v want %v", tc.src, s, got[s], tc.want[s])
+			}
+		}
+	}
+	ok, err := c.CheckInit(ctl.MustParse("AF q"))
+	if err != nil || !ok {
+		t.Fatalf("CheckInit: %v %v", ok, err)
+	}
+}
+
+func TestCheckerEqNeqAtoms(t *testing.T) {
+	e := kripke.NewExplicit(2)
+	e.AddEdge(0, 1)
+	e.AddEdge(1, 1)
+	e.Label(0, "st=idle")
+	e.Label(1, "st=busy")
+	e.Label(1, "flag")
+	e.AddInit(0)
+	c := New(e)
+	got, err := c.Check(ctl.MustParse("st = busy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] || !got[1] {
+		t.Fatalf("st=busy resolves wrong: %v", got)
+	}
+	got, err = c.Check(ctl.MustParse("flag = 1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] || !got[1] {
+		t.Fatalf("flag=1 resolves wrong: %v", got)
+	}
+	got, err = c.Check(ctl.MustParse("flag != 1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[0] || got[1] {
+		t.Fatalf("flag!=1 resolves wrong: %v", got)
+	}
+}
+
+func TestFairEGExplicit(t *testing.T) {
+	// two loops; fairness only at the right loop.
+	e := kripke.NewExplicit(3)
+	e.AddEdge(0, 0)
+	e.AddEdge(0, 1)
+	e.AddEdge(1, 2)
+	e.AddEdge(2, 1)
+	e.Label(0, "p")
+	e.Label(1, "p")
+	e.AddInit(0)
+	e.AddFairSet("h", []bool{false, false, true})
+	c := New(e)
+	got, err := c.Check(ctl.MustParse("EG p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// the only fair loop {1,2} contains 2 which lacks p, so EG p fails
+	// everywhere under fairness.
+	for s, v := range got {
+		if v {
+			t.Fatalf("EG p should fail at %d under fairness", s)
+		}
+	}
+	got, err = c.Check(ctl.MustParse("EG true"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, v := range got {
+		if !v {
+			t.Fatalf("EG true should hold at %d (all can reach the fair loop)", s)
+		}
+	}
+}
+
+func TestFairSemanticLaws(t *testing.T) {
+	// On random fair structures, EX/EU restricted to fair states must
+	// agree with the definitional forms.
+	r := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 20; trial++ {
+		e := kripke.RandomExplicit(r, 10, 2, []string{"p", "q"}, 1+trial%2, 0.3)
+		c := New(e)
+		lhs, err := c.Check(ctl.MustParse("EX p"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// EX p under fairness == EX (p & EG true) without fairness
+		noFair := kripke.NewExplicit(e.N)
+		for u := range e.Succ {
+			for _, v := range e.Succ[u] {
+				noFair.AddEdge(u, v)
+			}
+			for a := range e.Labels[u] {
+				noFair.Label(u, a)
+			}
+		}
+		fair, err := c.Check(ctl.MustParse("EG true"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < e.N; s++ {
+			if fair[s] {
+				noFair.Label(s, "fairstate")
+			}
+		}
+		c2 := New(noFair)
+		rhs, err := c2.Check(ctl.MustParse("EX (p & fairstate)"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < e.N; s++ {
+			if lhs[s] != rhs[s] {
+				t.Fatalf("trial %d: fair EX law broken at state %d", trial, s)
+			}
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Package explicit implements an explicit-state CTL model checker in the
+// style of the EMC program referenced in Section 4 of the paper. It
+// serves two purposes: the baseline whose state-explosion failure on the
+// arbiter motivates the symbolic approach (experiment E7), and an
+// independent oracle for cross-validating the symbolic checker on small
+// models.
+package explicit
+
+// Tarjan's strongly connected components over a subgraph. Sub selects
+// which states participate; edges leaving the subgraph are ignored. The
+// returned comp maps each selected state to its component id (unselected
+// states get -1); components are numbered in reverse topological order
+// (a component's successors have smaller ids).
+func SCC(succ [][]int, sub []bool) (comp []int, ncomp int) {
+	n := len(succ)
+	comp = make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	next := 0
+
+	// Iterative Tarjan to survive deep graphs.
+	type frame struct {
+		v  int
+		ei int
+	}
+	var dfs []frame
+	for root := 0; root < n; root++ {
+		if !sub[root] || index[root] != -1 {
+			continue
+		}
+		dfs = append(dfs[:0], frame{root, 0})
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(dfs) > 0 {
+			f := &dfs[len(dfs)-1]
+			v := f.v
+			advanced := false
+			for f.ei < len(succ[v]) {
+				w := succ[v][f.ei]
+				f.ei++
+				if !sub[w] {
+					continue
+				}
+				if index[w] == -1 {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					dfs = append(dfs, frame{w, 0})
+					advanced = true
+					break
+				} else if onStack[w] {
+					if index[w] < low[v] {
+						low[v] = index[w]
+					}
+				}
+			}
+			if advanced {
+				continue
+			}
+			// finished v
+			dfs = dfs[:len(dfs)-1]
+			if len(dfs) > 0 {
+				p := dfs[len(dfs)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = ncomp
+					if w == v {
+						break
+					}
+				}
+				ncomp++
+			}
+		}
+	}
+	return comp, ncomp
+}
+
+// NontrivialSCCStates returns the set of states lying in a nontrivial
+// SCC of the subgraph: a component with more than one state, or a single
+// state with a self-loop (within the subgraph).
+func NontrivialSCCStates(succ [][]int, sub []bool) []bool {
+	comp, ncomp := SCC(succ, sub)
+	size := make([]int, ncomp)
+	for v, c := range comp {
+		if c >= 0 {
+			size[c]++
+		}
+		_ = v
+	}
+	out := make([]bool, len(succ))
+	for v, c := range comp {
+		if c < 0 {
+			continue
+		}
+		if size[c] > 1 {
+			out[v] = true
+			continue
+		}
+		for _, w := range succ[v] {
+			if w == v && sub[v] {
+				out[v] = true
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,285 @@
+package explicit
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Explicit-state witness generation: the pre-BDD way of producing the
+// same traces Section 6 produces symbolically. Used as the baseline in
+// experiment E7 and as an independent oracle for witness shapes.
+
+// Lasso is an explicit witness: States[CycleStart:] repeats forever.
+type Lasso struct {
+	States     []int
+	CycleStart int
+}
+
+// Len returns the total number of states.
+func (l *Lasso) Len() int { return len(l.States) }
+
+// CycleLen returns the number of states on the cycle.
+func (l *Lasso) CycleLen() int { return len(l.States) - l.CycleStart }
+
+// FairEGWitness constructs a fair lasso demonstrating EG f at start:
+// BFS to a fair SCC of the f-subgraph, a tour of the fairness
+// constraints inside it, and a closing path.
+func (c *Checker) FairEGWitness(f []bool, start int) (*Lasso, error) {
+	sat := c.fairEG(f)
+	if !sat[start] {
+		return nil, errors.New("explicit: state does not satisfy fair EG f")
+	}
+	// Identify the good SCCs (as in fairEG).
+	comp, ncomp := SCC(c.E.Succ, f)
+	good := c.goodComponents(comp, ncomp, f)
+
+	goodState := make([]bool, c.E.N)
+	for v, cv := range comp {
+		if cv >= 0 && good[cv] {
+			goodState[v] = true
+		}
+	}
+	// Prefix: BFS within f from start to any good state.
+	prefix, err := c.bfs(start, f, goodState)
+	if err != nil {
+		return nil, err
+	}
+	head := prefix[len(prefix)-1]
+	inSCC := make([]bool, c.E.N)
+	for v, cv := range comp {
+		if cv == comp[head] {
+			inSCC[v] = true
+		}
+	}
+
+	lasso := &Lasso{States: prefix, CycleStart: len(prefix) - 1}
+	cur := head
+	for k, fs := range c.E.Fair {
+		target := make([]bool, c.E.N)
+		hit := false
+		for v := range target {
+			if inSCC[v] && fs[v] {
+				target[v] = true
+				hit = true
+			}
+		}
+		if !hit {
+			return nil, fmt.Errorf("explicit: good SCC misses fairness constraint %d", k)
+		}
+		segment, err := c.bfs(cur, inSCC, target)
+		if err != nil {
+			return nil, err
+		}
+		lasso.States = append(lasso.States, segment[1:]...)
+		cur = segment[len(segment)-1]
+	}
+	// Close the cycle back to head with a nontrivial path.
+	headOnly := make([]bool, c.E.N)
+	headOnly[head] = true
+	closing, err := c.bfsNontrivial(cur, inSCC, headOnly)
+	if err != nil {
+		return nil, err
+	}
+	// closing = cur ... head; drop cur and the final head (implicit).
+	lasso.States = append(lasso.States, closing[1:len(closing)-1]...)
+	return lasso, nil
+}
+
+// goodComponents returns which SCCs of the f-subgraph are nontrivial and
+// intersect every fairness constraint.
+func (c *Checker) goodComponents(comp []int, ncomp int, f []bool) []bool {
+	size := make([]int, ncomp)
+	selfLoop := make([]bool, ncomp)
+	hits := make([][]bool, ncomp)
+	for i := range hits {
+		hits[i] = make([]bool, len(c.E.Fair))
+	}
+	for v, cv := range comp {
+		if cv < 0 {
+			continue
+		}
+		size[cv]++
+		for _, w := range c.E.Succ[v] {
+			if w == v {
+				selfLoop[cv] = true
+			}
+		}
+		for k, fs := range c.E.Fair {
+			if fs[v] {
+				hits[cv][k] = true
+			}
+		}
+	}
+	good := make([]bool, ncomp)
+	for i := 0; i < ncomp; i++ {
+		if size[i] < 2 && !selfLoop[i] {
+			continue
+		}
+		ok := true
+		for _, h := range hits[i] {
+			if !h {
+				ok = false
+				break
+			}
+		}
+		good[i] = ok
+	}
+	return good
+}
+
+// bfs returns a shortest path from start to any target state, moving
+// only through sub states (the start need not be in sub... it must; the
+// target states must be in sub). A path of length 0 (start ∈ target) is
+// allowed.
+func (c *Checker) bfs(start int, sub, target []bool) ([]int, error) {
+	if target[start] {
+		return []int{start}, nil
+	}
+	prev := make([]int, c.E.N)
+	for i := range prev {
+		prev[i] = -1
+	}
+	queue := []int{start}
+	visited := make([]bool, c.E.N)
+	visited[start] = true
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		for _, v := range c.E.Succ[u] {
+			if visited[v] || !sub[v] {
+				continue
+			}
+			visited[v] = true
+			prev[v] = u
+			if target[v] {
+				return buildPath(prev, start, v), nil
+			}
+			queue = append(queue, v)
+		}
+	}
+	return nil, errors.New("explicit: BFS target unreachable")
+}
+
+// bfsNontrivial is bfs but requires at least one edge (for closing a
+// cycle back to the start state itself). Because the path may return to
+// start, seed predecessors are marked with -2 ("parent is start").
+func (c *Checker) bfsNontrivial(start int, sub, target []bool) ([]int, error) {
+	prev := make([]int, c.E.N)
+	for i := range prev {
+		prev[i] = -1
+	}
+	build := func(end int) []int {
+		var rev []int
+		v := end
+		for {
+			rev = append(rev, v)
+			p := prev[v]
+			if p == -2 {
+				break
+			}
+			v = p
+		}
+		rev = append(rev, start)
+		for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+			rev[i], rev[j] = rev[j], rev[i]
+		}
+		return rev
+	}
+	var queue []int
+	visited := make([]bool, c.E.N)
+	// seed with successors, not the start itself
+	for _, v := range c.E.Succ[start] {
+		if !sub[v] || visited[v] {
+			continue
+		}
+		visited[v] = true
+		prev[v] = -2
+		if target[v] {
+			return build(v), nil
+		}
+		queue = append(queue, v)
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		for _, v := range c.E.Succ[u] {
+			if visited[v] || !sub[v] {
+				continue
+			}
+			visited[v] = true
+			prev[v] = u
+			if target[v] {
+				return build(v), nil
+			}
+			queue = append(queue, v)
+		}
+	}
+	return nil, errors.New("explicit: nontrivial BFS target unreachable")
+}
+
+func buildPath(prev []int, start, end int) []int {
+	var rev []int
+	for v := end; v != start; v = prev[v] {
+		rev = append(rev, v)
+	}
+	rev = append(rev, start)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// EUWitness returns a shortest path demonstrating E[f U g] at start.
+func (c *Checker) EUWitness(f, g []bool, start int) ([]int, error) {
+	sat := c.eu(f, g)
+	if !sat[start] {
+		return nil, errors.New("explicit: state does not satisfy E[f U g]")
+	}
+	// BFS through f-states (g states terminate).
+	sub := make([]bool, c.E.N)
+	for i := range sub {
+		sub[i] = f[i] || g[i]
+	}
+	return c.bfs(start, sub, g)
+}
+
+// ValidateLasso checks a lasso against the structure: edges, closure,
+// the invariant f everywhere, and fairness coverage on the cycle.
+func (c *Checker) ValidateLasso(l *Lasso, f []bool) error {
+	if len(l.States) == 0 || l.CycleStart < 0 || l.CycleStart >= len(l.States) {
+		return errors.New("explicit: malformed lasso")
+	}
+	for i := 1; i < len(l.States); i++ {
+		if !hasEdge(c.E.Succ, l.States[i-1], l.States[i]) {
+			return fmt.Errorf("explicit: missing edge at step %d", i)
+		}
+	}
+	if !hasEdge(c.E.Succ, l.States[len(l.States)-1], l.States[l.CycleStart]) {
+		return errors.New("explicit: cycle does not close")
+	}
+	for i, s := range l.States {
+		if !f[s] {
+			return fmt.Errorf("explicit: state %d violates the invariant", i)
+		}
+	}
+	for k, fs := range c.E.Fair {
+		hit := false
+		for i := l.CycleStart; i < len(l.States); i++ {
+			if fs[l.States[i]] {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			return fmt.Errorf("explicit: fairness constraint %d missed on the cycle", k)
+		}
+	}
+	return nil
+}
+
+func hasEdge(succ [][]int, u, v int) bool {
+	for _, w := range succ[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,145 @@
+package explicit
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/kripke"
+)
+
+func allTrue(n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = true
+	}
+	return out
+}
+
+func TestFairEGWitnessRing(t *testing.T) {
+	e := kripke.NewExplicit(3)
+	e.AddEdge(0, 1)
+	e.AddEdge(1, 2)
+	e.AddEdge(2, 0)
+	e.AddInit(0)
+	e.AddFairSet("h1", []bool{false, true, false})
+	e.AddFairSet("h2", []bool{false, false, true})
+	c := New(e)
+	l, err := c.FairEGWitness(allTrue(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ValidateLasso(l, allTrue(3)); err != nil {
+		t.Fatalf("invalid lasso: %v (%v)", err, l.States)
+	}
+}
+
+func TestFairEGWitnessMultiSCC(t *testing.T) {
+	// two SCCs; only the second satisfies both constraints.
+	e := kripke.NewExplicit(4)
+	e.AddEdge(0, 1)
+	e.AddEdge(1, 0)
+	e.AddEdge(1, 2)
+	e.AddEdge(2, 3)
+	e.AddEdge(3, 2)
+	e.AddInit(0)
+	e.AddFairSet("h1", []bool{false, true, true, false})
+	e.AddFairSet("h2", []bool{false, false, false, true})
+	c := New(e)
+	l, err := c.FairEGWitness(allTrue(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ValidateLasso(l, allTrue(4)); err != nil {
+		t.Fatalf("invalid: %v (%v)", err, l.States)
+	}
+	// cycle must live in {2,3}
+	for i := l.CycleStart; i < len(l.States); i++ {
+		if s := l.States[i]; s != 2 && s != 3 {
+			t.Fatalf("cycle escapes the good SCC: %v", l.States)
+		}
+	}
+}
+
+func TestFairEGWitnessUnsatisfied(t *testing.T) {
+	e := kripke.NewExplicit(2)
+	e.AddEdge(0, 1)
+	e.AddEdge(1, 1)
+	e.AddInit(0)
+	e.AddFairSet("h", []bool{true, false})
+	c := New(e)
+	if _, err := c.FairEGWitness(allTrue(2), 0); err == nil {
+		t.Fatal("should fail: no fair cycle")
+	}
+}
+
+func TestFairEGWitnessInvariant(t *testing.T) {
+	// EG p with p missing on part of the graph.
+	e := kripke.NewExplicit(4)
+	e.AddEdge(0, 1)
+	e.AddEdge(1, 0)
+	e.AddEdge(0, 2)
+	e.AddEdge(2, 3)
+	e.AddEdge(3, 2)
+	e.AddInit(0)
+	p := []bool{true, true, false, false}
+	c := New(e)
+	l, err := c.FairEGWitness(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ValidateLasso(l, p); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+}
+
+func TestEUWitnessShortest(t *testing.T) {
+	e := kripke.NewExplicit(4)
+	e.AddEdge(0, 1)
+	e.AddEdge(1, 2)
+	e.AddEdge(2, 3)
+	e.AddEdge(0, 3)
+	e.AddEdge(3, 3)
+	e.AddInit(0)
+	c := New(e)
+	f := allTrue(4)
+	g := []bool{false, false, false, true}
+	path, err := c.EUWitness(f, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 2 {
+		t.Fatalf("EU witness not shortest: %v", path)
+	}
+}
+
+func TestEUWitnessUnsatisfied(t *testing.T) {
+	e := kripke.NewExplicit(2)
+	e.AddEdge(0, 0)
+	e.AddEdge(1, 1)
+	c := New(e)
+	g := []bool{false, true}
+	if _, err := c.EUWitness(allTrue(2), g, 0); err == nil {
+		t.Fatal("unreachable target must fail")
+	}
+}
+
+func TestRandomExplicitWitnessesAgainstSymbolicSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 30; trial++ {
+		e := kripke.RandomExplicit(r, 10+r.Intn(10), 2, nil, 1+trial%3, 0.25)
+		c := New(e)
+		fair := c.fairStates()
+		for s := 0; s < e.N && s < 5; s++ {
+			if !fair[s] {
+				continue
+			}
+			l, err := c.FairEGWitness(allTrue(e.N), s)
+			if err != nil {
+				t.Fatalf("trial %d state %d: %v", trial, s, err)
+			}
+			if err := c.ValidateLasso(l, allTrue(e.N)); err != nil {
+				t.Fatalf("trial %d: invalid lasso: %v", trial, err)
+			}
+		}
+	}
+}

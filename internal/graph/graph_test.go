@@ -1,0 +1,161 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bdd"
+	"repro/internal/core"
+	"repro/internal/kripke"
+	"repro/internal/mc"
+)
+
+func ring(n int) [][]int {
+	succ := make([][]int, n)
+	for i := range succ {
+		succ[i] = []int{(i + 1) % n}
+	}
+	return succ
+}
+
+func TestMinimalWitnessSimpleRing(t *testing.T) {
+	// 3-ring with fairness at state 2: minimal witness from 0 is the
+	// whole ring (prefix empty, cycle 0-1-2).
+	e := kripke.NewExplicit(3)
+	e.AddEdge(0, 1)
+	e.AddEdge(1, 2)
+	e.AddEdge(2, 0)
+	e.AddInit(0)
+	e.AddFairSet("h", []bool{false, false, true})
+	w, ok := MinimalFiniteWitness(e, 0, 10)
+	if !ok {
+		t.Fatal("witness must exist")
+	}
+	if w.Length() != 3 || len(w.Prefix) != 0 {
+		t.Fatalf("minimal witness wrong: %+v", w)
+	}
+	if !ValidateWitness(e, 0, w) {
+		t.Fatal("witness fails validation")
+	}
+}
+
+func TestMinimalWitnessPrefix(t *testing.T) {
+	// 0 -> 1, 1 <-> 2 with fairness at 2: prefix [0], cycle [1,2] (or
+	// [2,1]); minimal length 3.
+	e := kripke.NewExplicit(3)
+	e.AddEdge(0, 1)
+	e.AddEdge(1, 2)
+	e.AddEdge(2, 1)
+	e.AddInit(0)
+	e.AddFairSet("h", []bool{false, false, true})
+	w, ok := MinimalFiniteWitness(e, 0, 10)
+	if !ok || w.Length() != 3 || len(w.Prefix) != 1 {
+		t.Fatalf("got %+v ok=%v", w, ok)
+	}
+	if !ValidateWitness(e, 0, w) {
+		t.Fatal("validation failed")
+	}
+}
+
+func TestMinimalWitnessFlower(t *testing.T) {
+	// Flower: center 0 with petals 0->1->0 (h1 at 1) and 0->2->0 (h2 at
+	// 2). The minimal cycle must revisit the center: 0,1,0,2 (length 4).
+	e := kripke.NewExplicit(3)
+	e.AddEdge(0, 1)
+	e.AddEdge(1, 0)
+	e.AddEdge(0, 2)
+	e.AddEdge(2, 0)
+	e.AddInit(0)
+	e.AddFairSet("h1", []bool{false, true, false})
+	e.AddFairSet("h2", []bool{false, false, true})
+	w, ok := MinimalFiniteWitness(e, 0, 12)
+	if !ok {
+		t.Fatal("witness must exist")
+	}
+	if w.Length() != 4 {
+		t.Fatalf("flower minimal length = %d, want 4 (%+v)", w.Length(), w)
+	}
+	if !ValidateWitness(e, 0, w) {
+		t.Fatal("validation failed")
+	}
+}
+
+func TestMinimalWitnessNone(t *testing.T) {
+	// DAG into a sink whose loop misses the constraint.
+	e := kripke.NewExplicit(2)
+	e.AddEdge(0, 1)
+	e.AddEdge(1, 1)
+	e.AddInit(0)
+	e.AddFairSet("h", []bool{true, false})
+	if _, ok := MinimalFiniteWitness(e, 0, 8); ok {
+		t.Fatal("no witness should exist")
+	}
+}
+
+func TestHamiltonianCycleBasics(t *testing.T) {
+	// ring of 4 has a Hamiltonian cycle
+	if _, ok := HamiltonianCycle(ring(4)); !ok {
+		t.Fatal("ring must be Hamiltonian")
+	}
+	// star (0->1,1->0,0->2,2->0) does not
+	star := [][]int{{1, 2}, {0}, {0}}
+	if _, ok := HamiltonianCycle(star); ok {
+		t.Fatal("star is not Hamiltonian")
+	}
+}
+
+func TestReductionAgreesWithDirectSearch(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + r.Intn(3) // 3..5 states
+		succ := make([][]int, n)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v && r.Intn(3) == 0 {
+					succ[u] = append(succ[u], v)
+				}
+			}
+			if len(succ[u]) == 0 {
+				succ[u] = append(succ[u], (u+1)%n)
+			}
+		}
+		_, direct := HamiltonianCycle(succ)
+		viaWitness := HamiltonianViaWitness(succ)
+		if direct != viaWitness {
+			t.Fatalf("trial %d: direct=%v viaWitness=%v (succ=%v)", trial, direct, viaWitness, succ)
+		}
+	}
+}
+
+// TestHeuristicNeverBeatsMinimal cross-checks Theorem 1's premise: the
+// Section 6 heuristic produces valid witnesses that are never shorter
+// than the brute-force minimum (and usually not much longer).
+func TestHeuristicNeverBeatsMinimal(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 20; trial++ {
+		e := kripke.RandomExplicit(r, 5+r.Intn(2), 2, nil, 1+r.Intn(2), 0.3)
+		s := kripke.FromExplicit(e)
+		g := core.NewGenerator(mc.New(s))
+		fairSet := g.C.Fair()
+		start := kripke.IndexState(e.Init[0], len(s.Vars))
+		if !s.Holds(fairSet, start) {
+			continue // no fair path from the initial state
+		}
+		tr, err := g.WitnessEG(bdd.True, start)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := core.ValidateEG(s, tr, bdd.True); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		maxLen := e.N * (len(e.Fair) + 1)
+		w, ok := MinimalFiniteWitness(e, e.Init[0], maxLen)
+		if !ok {
+			t.Fatalf("trial %d: heuristic found a witness but brute force did not", trial)
+		}
+		if tr.Len() < w.Length() {
+			t.Fatalf("trial %d: heuristic length %d < minimal %d — impossible",
+				trial, tr.Len(), w.Length())
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/kripke"
+)
+
+// Theorem 1's reduction: Hamiltonian cycle ≤p minimal finite witness.
+
+// HamiltonianCycle searches for a Hamiltonian cycle in the directed
+// graph by backtracking. Returns the cycle as a state sequence (without
+// repeating the start at the end) and whether one exists.
+func HamiltonianCycle(succ [][]int) ([]int, bool) {
+	n := len(succ)
+	if n == 0 {
+		return nil, false
+	}
+	visited := make([]bool, n)
+	path := make([]int, 0, n)
+	path = append(path, 0)
+	visited[0] = true
+	var rec func() bool
+	rec = func() bool {
+		if len(path) == n {
+			// must close back to 0
+			for _, w := range succ[path[n-1]] {
+				if w == 0 {
+					return true
+				}
+			}
+			return false
+		}
+		for _, w := range succ[path[len(path)-1]] {
+			if visited[w] {
+				continue
+			}
+			visited[w] = true
+			path = append(path, w)
+			if rec() {
+				return true
+			}
+			path = path[:len(path)-1]
+			visited[w] = false
+		}
+		return false
+	}
+	if rec() {
+		return append([]int(nil), path...), true
+	}
+	return nil, false
+}
+
+// ReduceHamiltonian builds the instance of the minimal-finite-witness
+// problem from the proof of Theorem 1: the graph becomes a
+// state-transition structure and every state gets its own fairness
+// constraint, so any witness cycle must visit all states.
+func ReduceHamiltonian(succ [][]int) *kripke.Explicit {
+	n := len(succ)
+	e := kripke.NewExplicit(n)
+	for u := range succ {
+		for _, v := range succ[u] {
+			e.AddEdge(u, v)
+		}
+	}
+	e.AddInit(0)
+	for s := 0; s < n; s++ {
+		set := make([]bool, n)
+		set[s] = true
+		e.AddFairSet(fmt.Sprintf("state%d", s), set)
+	}
+	return e
+}
+
+// HamiltonianViaWitness decides Hamiltonicity by the Theorem 1
+// reduction: the graph has a Hamiltonian cycle iff the reduced structure
+// has a finite witness of length exactly n from state 0.
+func HamiltonianViaWitness(succ [][]int) bool {
+	n := len(succ)
+	if n == 0 {
+		return false
+	}
+	e := ReduceHamiltonian(succ)
+	w, ok := MinimalFiniteWitness(e, 0, n)
+	return ok && w.Length() == n && len(w.Prefix) == 0
+}

@@ -1,0 +1,142 @@
+// Package graph provides the exact (exponential-time) algorithms that
+// Theorem 1 of the paper is about: computing a minimal finite witness —
+// the shortest prefix+cycle path whose cycle satisfies every fairness
+// constraint — and the Hamiltonian-cycle reduction that proves the
+// problem NP-complete. The experiment harness compares these exact
+// minima against the lengths produced by the Section 6 heuristic.
+package graph
+
+import (
+	"repro/internal/kripke"
+)
+
+// Witness is a finite witness: a prefix of states followed by a cycle
+// (the cycle's last state has an edge back to its first). Length is
+// len(Prefix) + len(Cycle), matching the paper's definition.
+type Witness struct {
+	Prefix []int
+	Cycle  []int
+}
+
+// Length returns the total witness length.
+func (w Witness) Length() int { return len(w.Prefix) + len(w.Cycle) }
+
+// MinimalFiniteWitness finds a minimal-length finite witness for
+// "EG true" under the fairness constraints of e, starting at start:
+// the shortest path start = s_0, ..., s_{j-1}, [s_j, ..., s_k] with an
+// edge s_k -> s_j such that every fairness set intersects
+// {s_j, ..., s_k}. It searches by iterative deepening over the total
+// length, so the first witness found is minimal; maxLen bounds the
+// search (use ~N * (#constraints+1) per the paper's bound). Returns
+// ok=false if no witness within maxLen exists.
+func MinimalFiniteWitness(e *kripke.Explicit, start, maxLen int) (Witness, bool) {
+	nfair := len(e.Fair)
+	// Per the paper's NP-membership argument, the cycle of a minimal
+	// witness decomposes into at most nfair simple cycles and the prefix
+	// is simple, so no state occurs more than nfair+1 times on a minimal
+	// witness. This bounds the walk enumeration.
+	maxVisits := nfair + 1
+	if maxVisits < 2 {
+		maxVisits = 2
+	}
+	counts := make([]int, e.N)
+	for total := 1; total <= maxLen; total++ {
+		path := make([]int, 0, total)
+		path = append(path, start)
+		counts[start] = 1
+		w, ok := extend(e, path, counts, total, maxVisits)
+		counts[start] = 0
+		if ok {
+			return w, true
+		}
+	}
+	return Witness{}, false
+}
+
+// extend tries to complete the walk to a witness of exactly total
+// states. Unlike a simple-path search, states may repeat (up to
+// maxVisits times) because a minimal cycle may traverse several simple
+// cycles sharing states.
+func extend(e *kripke.Explicit, path []int, counts []int, total, maxVisits int) (Witness, bool) {
+	k := len(path) - 1
+	if len(path) == total {
+		last := path[k]
+		for _, back := range e.Succ[last] {
+			for j := 0; j <= k; j++ {
+				if path[j] != back {
+					continue
+				}
+				if cycleCoversFairness(e, path[j:]) {
+					return Witness{
+						Prefix: append([]int(nil), path[:j]...),
+						Cycle:  append([]int(nil), path[j:]...),
+					}, true
+				}
+			}
+		}
+		return Witness{}, false
+	}
+	for _, next := range e.Succ[path[k]] {
+		if counts[next] >= maxVisits {
+			continue
+		}
+		counts[next]++
+		path = append(path, next)
+		w, ok := extend(e, path, counts, total, maxVisits)
+		path = path[:len(path)-1]
+		counts[next]--
+		if ok {
+			return w, true
+		}
+	}
+	return Witness{}, false
+}
+
+// cycleCoversFairness reports whether the cycle states hit every
+// fairness constraint of e.
+func cycleCoversFairness(e *kripke.Explicit, cycle []int) bool {
+	for _, fs := range e.Fair {
+		hit := false
+		for _, s := range cycle {
+			if fs[s] {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			return false
+		}
+	}
+	return true
+}
+
+// ValidateWitness checks a finite witness against the structure: edges
+// along prefix+cycle, the closing edge, and fairness coverage on the
+// cycle.
+func ValidateWitness(e *kripke.Explicit, start int, w Witness) bool {
+	if len(w.Cycle) == 0 {
+		return false
+	}
+	all := append(append([]int(nil), w.Prefix...), w.Cycle...)
+	if all[0] != start {
+		return false
+	}
+	for i := 1; i < len(all); i++ {
+		if !hasEdge(e, all[i-1], all[i]) {
+			return false
+		}
+	}
+	if !hasEdge(e, w.Cycle[len(w.Cycle)-1], w.Cycle[0]) {
+		return false
+	}
+	return cycleCoversFairness(e, w.Cycle)
+}
+
+func hasEdge(e *kripke.Explicit, u, v int) bool {
+	for _, w := range e.Succ[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}

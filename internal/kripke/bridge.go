@@ -1,0 +1,193 @@
+package kripke
+
+import (
+	"fmt"
+
+	"repro/internal/bdd"
+)
+
+// FromExplicit encodes an explicit structure symbolically using a binary
+// encoding of the state index (little-endian bits named b0, b1, ...).
+// This is how the paper's OBDD representation of relations over finite
+// domains (end of Section 2) is obtained: states are numbered and the
+// relation is the characteristic function of the encoded pairs.
+func FromExplicit(e *Explicit) *Symbolic {
+	nbits := 1
+	for 1<<nbits < e.N {
+		nbits++
+	}
+	names := make([]string, nbits)
+	for i := range names {
+		names[i] = fmt.Sprintf("b%d", i)
+	}
+	b := NewBuilder(names)
+	m := b.S.M
+
+	stateCube := func(idx int, next bool) bdd.Ref {
+		res := bdd.True
+		for i := 0; i < nbits; i++ {
+			var v bdd.Ref
+			if next {
+				v = b.Next(names[i])
+			} else {
+				v = b.Cur(names[i])
+			}
+			if idx>>i&1 == 0 {
+				v = m.Not(v)
+			}
+			res = m.And(res, v)
+		}
+		return res
+	}
+
+	trans := bdd.False
+	for u := 0; u < e.N; u++ {
+		cu := stateCube(u, false)
+		for _, v := range e.Succ[u] {
+			trans = m.Or(trans, m.And(cu, stateCube(v, true)))
+		}
+	}
+	init := bdd.False
+	for _, s := range e.Init {
+		init = m.Or(init, stateCube(s, false))
+	}
+	b.S.Trans = trans
+	b.S.Init = init
+
+	// valid-state invariant (indices < N)
+	valid := bdd.False
+	for s := 0; s < e.N; s++ {
+		valid = m.Or(valid, stateCube(s, false))
+	}
+	b.S.Invar = valid
+
+	for _, atom := range e.AtomNames() {
+		set := bdd.False
+		for s := 0; s < e.N; s++ {
+			if e.Labels[s][atom] {
+				set = m.Or(set, stateCube(s, false))
+			}
+		}
+		b.S.RegisterAtom(atom, m.Protect(set))
+	}
+	for i, fs := range e.Fair {
+		set := bdd.False
+		for s := 0; s < e.N; s++ {
+			if fs[s] {
+				set = m.Or(set, stateCube(s, false))
+			}
+		}
+		b.AddFairness(e.FairNames[i], set)
+	}
+	return b.Finish()
+}
+
+// StateIndex decodes the binary encoding used by FromExplicit.
+func StateIndex(st State) int {
+	idx := 0
+	for i, v := range st {
+		if v {
+			idx |= 1 << i
+		}
+	}
+	return idx
+}
+
+// IndexState encodes a state index over nbits variables.
+func IndexState(idx, nbits int) State {
+	st := make(State, nbits)
+	for i := 0; i < nbits; i++ {
+		st[i] = idx>>i&1 == 1
+	}
+	return st
+}
+
+// ToExplicit enumerates the reachable fragment of a symbolic structure
+// into an explicit one. It fails if more than limit states are reachable
+// (limit <= 0 means no limit). Atom labels are taken from every
+// registered boolean atom; fairness constraints carry over.
+func (s *Symbolic) ToExplicit(limit int) (*Explicit, map[string]int, error) {
+	return s.ToExplicitBounded(limit, 0)
+}
+
+// ToExplicitBounded is ToExplicit with an additional edge budget:
+// highly nondeterministic models (e.g. speed-independent circuits,
+// where any subset of excited gates may fire in one step) can have
+// manageable state counts but astronomically many edges, and the edge
+// bound makes the explosion fail fast. edgeLimit <= 0 means no bound.
+func (s *Symbolic) ToExplicitBounded(limit, edgeLimit int) (*Explicit, map[string]int, error) {
+	index := map[string]int{}
+	var states []State
+
+	add := func(st State) int {
+		k := st.Key()
+		if i, ok := index[k]; ok {
+			return i
+		}
+		i := len(states)
+		index[k] = i
+		states = append(states, st)
+		return i
+	}
+
+	inits := s.EnumStates(s.Init, limit+1)
+	if limit > 0 && len(inits) > limit {
+		return nil, nil, fmt.Errorf("kripke: more than %d initial states", limit)
+	}
+	queue := []int{}
+	for _, st := range inits {
+		queue = append(queue, add(st))
+	}
+	type edge struct{ u, v int }
+	var edges []edge
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		if qi%1024 == 0 {
+			s.M.MaybeGC()
+		}
+		succLimit := 0
+		if edgeLimit > 0 {
+			// Bound the per-state enumeration so a single state with an
+			// astronomical out-degree cannot blow memory before the edge
+			// budget check fires.
+			succLimit = edgeLimit - len(edges) + 2
+		}
+		for _, succ := range s.Successors(states[u], succLimit) {
+			before := len(states)
+			v := add(succ)
+			if v == before { // new state
+				if limit > 0 && len(states) > limit {
+					return nil, nil, fmt.Errorf("kripke: more than %d reachable states", limit)
+				}
+				queue = append(queue, v)
+			}
+			edges = append(edges, edge{u, v})
+			if edgeLimit > 0 && len(edges) > edgeLimit {
+				return nil, nil, fmt.Errorf("kripke: more than %d edges", edgeLimit)
+			}
+		}
+	}
+
+	e := NewExplicit(len(states))
+	for _, ed := range edges {
+		e.AddEdge(ed.u, ed.v)
+	}
+	for i := range inits {
+		e.AddInit(i)
+	}
+	for name, set := range s.atoms {
+		for i, st := range states {
+			if s.Holds(set, st) {
+				e.Labels[i][name] = true
+			}
+		}
+	}
+	for fi, fset := range s.Fair {
+		sel := make([]bool, len(states))
+		for i, st := range states {
+			sel[i] = s.Holds(fset, st)
+		}
+		e.AddFairSet(s.FairNames[fi], sel)
+	}
+	return e, index, nil
+}

@@ -1,0 +1,151 @@
+package kripke
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Explicit is a labeled state-transition graph in adjacency-list form,
+// used by the explicit-state baseline checker (the EMC of Section 4) and
+// as an oracle in cross-validation tests.
+type Explicit struct {
+	N      int
+	Succ   [][]int
+	Labels []map[string]bool // atoms true in each state
+	Init   []int
+	// Fair[i] is the i-th fairness constraint as a state set.
+	Fair      [][]bool
+	FairNames []string
+}
+
+// NewExplicit creates an explicit structure with n states and no edges.
+func NewExplicit(n int) *Explicit {
+	e := &Explicit{
+		N:      n,
+		Succ:   make([][]int, n),
+		Labels: make([]map[string]bool, n),
+	}
+	for i := range e.Labels {
+		e.Labels[i] = map[string]bool{}
+	}
+	return e
+}
+
+// AddEdge inserts the edge u -> v (idempotent).
+func (e *Explicit) AddEdge(u, v int) {
+	for _, w := range e.Succ[u] {
+		if w == v {
+			return
+		}
+	}
+	e.Succ[u] = append(e.Succ[u], v)
+}
+
+// Label marks atom as true in state s.
+func (e *Explicit) Label(s int, atom string) { e.Labels[s][atom] = true }
+
+// AddInit marks s as an initial state.
+func (e *Explicit) AddInit(s int) { e.Init = append(e.Init, s) }
+
+// AddFairSet appends a fairness constraint given as a state set.
+func (e *Explicit) AddFairSet(name string, set []bool) {
+	if len(set) != e.N {
+		panic("kripke: fairness set size mismatch")
+	}
+	e.Fair = append(e.Fair, set)
+	e.FairNames = append(e.FairNames, name)
+}
+
+// MakeTotal adds a self-loop to every deadlocked state.
+func (e *Explicit) MakeTotal() {
+	for s := 0; s < e.N; s++ {
+		if len(e.Succ[s]) == 0 {
+			e.AddEdge(s, s)
+		}
+	}
+}
+
+// IsTotal reports whether every state has a successor.
+func (e *Explicit) IsTotal() bool {
+	for s := 0; s < e.N; s++ {
+		if len(e.Succ[s]) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Pred computes the predecessor lists (reverse adjacency).
+func (e *Explicit) Pred() [][]int {
+	pred := make([][]int, e.N)
+	for u, succs := range e.Succ {
+		for _, v := range succs {
+			pred[v] = append(pred[v], u)
+		}
+	}
+	return pred
+}
+
+// AtomNames returns all atom names used anywhere, sorted.
+func (e *Explicit) AtomNames() []string {
+	set := map[string]bool{}
+	for _, lbl := range e.Labels {
+		for a := range lbl {
+			set[a] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RandomExplicit generates a random total structure with n states,
+// average out-degree deg, the given atom names (each true in a state
+// with probability 1/2) and nfair random fairness constraints (each
+// state included with probability fairDensity).
+func RandomExplicit(r *rand.Rand, n int, deg float64, atoms []string, nfair int, fairDensity float64) *Explicit {
+	e := NewExplicit(n)
+	for s := 0; s < n; s++ {
+		k := 1 + r.Intn(int(2*deg))
+		for j := 0; j < k; j++ {
+			e.AddEdge(s, r.Intn(n))
+		}
+		for _, a := range atoms {
+			if r.Intn(2) == 0 {
+				e.Label(s, a)
+			}
+		}
+	}
+	e.AddInit(r.Intn(n))
+	// guarantee every atom labels at least one state so that the
+	// symbolic bridge registers it
+	for _, a := range atoms {
+		found := false
+		for s := 0; s < n && !found; s++ {
+			found = e.Labels[s][a]
+		}
+		if !found {
+			e.Label(r.Intn(n), a)
+		}
+	}
+	for i := 0; i < nfair; i++ {
+		set := make([]bool, n)
+		nonEmpty := false
+		for s := range set {
+			if r.Float64() < fairDensity {
+				set[s] = true
+				nonEmpty = true
+			}
+		}
+		if !nonEmpty {
+			set[r.Intn(n)] = true
+		}
+		e.AddFairSet(fmt.Sprintf("h%d", i), set)
+	}
+	e.MakeTotal()
+	return e
+}

@@ -1,0 +1,131 @@
+package kripke
+
+import "repro/internal/bdd"
+
+// Conjunctively partitioned transition relations. Building the
+// monolithic BDD R(v,v′) = ⋀ᵢ Cᵢ(v,v′) can be the bottleneck on large
+// models; image computation can instead conjoin the clusters one at a
+// time, quantifying each variable out as soon as no remaining cluster
+// mentions it ("early quantification"). The SMV lineage of checkers
+// uses exactly this technique; Image/Preimage switch to it automatically
+// when clusters are installed.
+
+// partition holds the clusters and the precomputed quantification
+// schedules for both directions.
+type partition struct {
+	clusters []bdd.Ref
+	// preSched[i]: cube of next-state variables to quantify right after
+	// conjoining clusters[i] during Preimage (they appear in no later
+	// cluster). preFree: next vars in no cluster at all.
+	preSched []bdd.Ref
+	preFree  bdd.Ref
+	// imgSched/imgFree: same for current-state variables during Image.
+	imgSched []bdd.Ref
+	imgFree  bdd.Ref
+}
+
+// SetClusters installs a conjunctive partition of the transition
+// relation (the conjunction of the clusters must equal Trans; the
+// builder guarantees this). Passing an empty slice removes the
+// partition, reverting Image/Preimage to the monolithic relation.
+func (s *Symbolic) SetClusters(clusters []bdd.Ref) {
+	if s.part != nil {
+		for _, c := range s.part.clusters {
+			s.M.Unprotect(c)
+		}
+		for _, c := range s.part.preSched {
+			s.M.Unprotect(c)
+		}
+		for _, c := range s.part.imgSched {
+			s.M.Unprotect(c)
+		}
+		s.M.Unprotect(s.part.preFree)
+		s.M.Unprotect(s.part.imgFree)
+		s.part = nil
+	}
+	if len(clusters) == 0 {
+		return
+	}
+	m := s.M
+	p := &partition{}
+	for _, c := range clusters {
+		p.clusters = append(p.clusters, m.Protect(c))
+	}
+
+	isNext := make(map[int]bool, len(s.Vars))
+	isCur := make(map[int]bool, len(s.Vars))
+	for _, v := range s.Vars {
+		isNext[v.Next] = true
+		isCur[v.Cur] = true
+	}
+
+	build := func(keep func(int) bool) (scheds []bdd.Ref, free bdd.Ref) {
+		// lastUse[v] = largest cluster index whose support contains v.
+		lastUse := map[int]int{}
+		for i, c := range p.clusters {
+			for _, v := range m.Support(c) {
+				if keep(v) {
+					lastUse[v] = i
+				}
+			}
+		}
+		byCluster := make([][]int, len(p.clusters))
+		var unused []int
+		for _, sv := range s.Vars {
+			var v int
+			if keep(sv.Next) {
+				v = sv.Next
+			} else {
+				v = sv.Cur
+			}
+			if i, ok := lastUse[v]; ok {
+				byCluster[i] = append(byCluster[i], v)
+			} else {
+				unused = append(unused, v)
+			}
+		}
+		for _, vs := range byCluster {
+			scheds = append(scheds, m.Protect(m.Cube(vs)))
+		}
+		return scheds, m.Protect(m.Cube(unused))
+	}
+	p.preSched, p.preFree = build(func(v int) bool { return isNext[v] })
+	p.imgSched, p.imgFree = build(func(v int) bool { return isCur[v] })
+	s.part = p
+}
+
+// HasClusters reports whether a conjunctive partition is installed.
+func (s *Symbolic) HasClusters() bool { return s.part != nil }
+
+// NumClusters returns the number of installed clusters (0 if none).
+func (s *Symbolic) NumClusters() int {
+	if s.part == nil {
+		return 0
+	}
+	return len(s.part.clusters)
+}
+
+// preimagePart computes EX to using the partition with early
+// quantification.
+func (s *Symbolic) preimagePart(to bdd.Ref) bdd.Ref {
+	m := s.M
+	p := s.part
+	acc := s.ToNext(to)
+	// Quantify next-vars that no cluster mentions immediately.
+	acc = m.Exists(acc, p.preFree)
+	for i, c := range p.clusters {
+		acc = m.AndExists(acc, c, p.preSched[i])
+	}
+	return acc
+}
+
+// imagePart computes successors of from using the partition.
+func (s *Symbolic) imagePart(from bdd.Ref) bdd.Ref {
+	m := s.M
+	p := s.part
+	acc := m.Exists(from, p.imgFree)
+	for i, c := range p.clusters {
+		acc = m.AndExists(acc, c, p.imgSched[i])
+	}
+	return s.ToCur(acc)
+}

@@ -1,0 +1,125 @@
+package kripke
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bdd"
+)
+
+// buildPartitionedCounter builds an n-bit ripple counter through the
+// Builder so the clusters get installed automatically.
+func buildPartitionedCounter(n int) (*Symbolic, *Builder) {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+	}
+	b := NewBuilder(names)
+	m := b.S.M
+	carry := bdd.True
+	for i := 0; i < n; i++ {
+		b.InitValue(names[i], false)
+		cur := b.Cur(names[i])
+		b.NextFunc(names[i], m.Xor(cur, carry))
+		carry = m.And(carry, cur)
+	}
+	return b.Finish(), b
+}
+
+func TestPartitionInstalledByBuilder(t *testing.T) {
+	s, _ := buildPartitionedCounter(4)
+	if !s.HasClusters() {
+		t.Fatal("builder should install clusters")
+	}
+	if s.NumClusters() != 4 {
+		t.Fatalf("want 4 clusters, got %d", s.NumClusters())
+	}
+}
+
+func TestPartitionedImageEqualsMonolithic(t *testing.T) {
+	s, _ := buildPartitionedCounter(5)
+	m := s.M
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		// random state set over current vars
+		set := bdd.False
+		for i := 0; i < 3; i++ {
+			cube := bdd.True
+			for _, v := range s.Vars {
+				switch r.Intn(3) {
+				case 0:
+					cube = m.And(cube, m.Var(v.Cur))
+				case 1:
+					cube = m.And(cube, m.NVar(v.Cur))
+				}
+			}
+			set = m.Or(set, cube)
+		}
+		imgPart := s.Image(set)
+		prePart := s.Preimage(set)
+
+		// compare against the monolithic path
+		part := s.part
+		s.part = nil
+		imgMono := s.Image(set)
+		preMono := s.Preimage(set)
+		s.part = part
+
+		if imgPart != imgMono {
+			t.Fatalf("trial %d: partitioned Image differs", trial)
+		}
+		if prePart != preMono {
+			t.Fatalf("trial %d: partitioned Preimage differs", trial)
+		}
+	}
+}
+
+func TestPartitionedWithFreeVariables(t *testing.T) {
+	// y is a free input (no next constraint): both paths must agree.
+	b := NewBuilder([]string{"x", "y"})
+	m := b.S.M
+	b.InitValue("x", false)
+	b.NextFunc("x", m.Or(b.Cur("x"), b.Cur("y")))
+	b.ConstrainTrans(bdd.True) // second (trivial) cluster to trigger partitioning
+	s := b.Finish()
+	if !s.HasClusters() {
+		t.Skip("partition not installed for single nontrivial cluster")
+	}
+	set := m.Var(s.Vars[0].Cur) // x = 1
+	part := s.part
+	pre1 := s.Preimage(set)
+	img1 := s.Image(set)
+	s.part = nil
+	pre2 := s.Preimage(set)
+	img2 := s.Image(set)
+	s.part = part
+	if pre1 != pre2 || img1 != img2 {
+		t.Fatal("free-variable quantification differs between paths")
+	}
+}
+
+func TestSetClustersRemoval(t *testing.T) {
+	s, _ := buildPartitionedCounter(3)
+	if !s.HasClusters() {
+		t.Fatal("expected clusters")
+	}
+	s.SetClusters(nil)
+	if s.HasClusters() {
+		t.Fatal("clusters should be removed")
+	}
+}
+
+func TestPartitionedReachableAgrees(t *testing.T) {
+	s, _ := buildPartitionedCounter(6)
+	reachPart, _ := s.Reachable()
+	part := s.part
+	s.part = nil
+	reachMono, _ := s.Reachable()
+	s.part = part
+	if reachPart != reachMono {
+		t.Fatal("reachability differs between partitioned and monolithic")
+	}
+	if got := s.CountStates(reachPart); got != 64 {
+		t.Fatalf("counter reachable = %v, want 64", got)
+	}
+}

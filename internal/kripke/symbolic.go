@@ -1,0 +1,384 @@
+// Package kripke provides the state-transition models the checker runs
+// on: symbolic structures whose transition relation R(v, v′) and state
+// sets are BDDs (Section 4 of the paper), explicit structures for the
+// baseline checker and for cross-validation, and bridges between the
+// two representations.
+package kripke
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bdd"
+	"repro/internal/ctl"
+)
+
+// StateVar is one boolean state variable with its current-state and
+// next-state BDD variable indices. Current and next copies are
+// interleaved in the BDD order (cur at level 2i, next at 2i+1), the
+// standard arrangement for image computation.
+type StateVar struct {
+	Name string
+	Cur  int
+	Next int
+}
+
+// Symbolic is a labeled state-transition graph M = (AP, S, L, N, S0)
+// represented with BDDs: states are assignments to the boolean state
+// variables, N is the BDD Trans over current and next variables, and S0
+// is the BDD Init over current variables.
+type Symbolic struct {
+	M    *bdd.Manager
+	Vars []StateVar
+
+	Trans bdd.Ref // R(v, v′)
+	Init  bdd.Ref // S0(v)
+
+	// Fair are the fairness-constraint state sets H = {h_1, ..., h_n}
+	// (Section 5); FairNames are their display names.
+	Fair      []bdd.Ref
+	FairNames []string
+
+	// Invar restricts the state space (conjoined into Trans on both
+	// sides and into Init by the builder); kept for reporting.
+	Invar bdd.Ref
+
+	atoms    map[string]bdd.Ref
+	eqAtoms  map[string]func(value string) (bdd.Ref, error)
+	curCube  bdd.Ref
+	nextCube bdd.Ref
+	toNext   *bdd.Permutation
+	toCur    *bdd.Permutation
+	part     *partition // optional conjunctive transition partition
+}
+
+// NewSymbolic allocates a symbolic structure with the given state
+// variable names. Transition relation and initial states start as True
+// (callers and builders conjoin constraints in).
+func NewSymbolic(names []string) *Symbolic {
+	m := bdd.New(2 * len(names))
+	s := &Symbolic{
+		M:       m,
+		Trans:   bdd.True,
+		Init:    bdd.True,
+		Invar:   bdd.True,
+		atoms:   map[string]bdd.Ref{},
+		eqAtoms: map[string]func(string) (bdd.Ref, error){},
+	}
+	for i, n := range names {
+		s.Vars = append(s.Vars, StateVar{Name: n, Cur: 2 * i, Next: 2*i + 1})
+		s.atoms[n] = m.Protect(m.Var(2 * i))
+	}
+	s.finishVars()
+	return s
+}
+
+// finishVars (re)computes the cubes and renaming permutations; called
+// after the variable set is fixed.
+func (s *Symbolic) finishVars() {
+	cur := make([]int, len(s.Vars))
+	next := make([]int, len(s.Vars))
+	perm := make([]int, s.M.NumVars())
+	for i := range perm {
+		perm[i] = i
+	}
+	for i, v := range s.Vars {
+		cur[i] = v.Cur
+		next[i] = v.Next
+		perm[v.Cur] = v.Next
+		perm[v.Next] = v.Cur
+	}
+	s.curCube = s.M.Protect(s.M.Cube(cur))
+	s.nextCube = s.M.Protect(s.M.Cube(next))
+	p := s.M.NewPermutation(perm)
+	s.toNext = p
+	s.toCur = p // the swap is an involution
+}
+
+// NumVars returns the number of state variables (not BDD variables).
+func (s *Symbolic) NumVars() int { return len(s.Vars) }
+
+// CurVars returns the BDD variable indices of the current-state copy.
+func (s *Symbolic) CurVars() []int {
+	out := make([]int, len(s.Vars))
+	for i, v := range s.Vars {
+		out[i] = v.Cur
+	}
+	return out
+}
+
+// NextVars returns the BDD variable indices of the next-state copy.
+func (s *Symbolic) NextVars() []int {
+	out := make([]int, len(s.Vars))
+	for i, v := range s.Vars {
+		out[i] = v.Next
+	}
+	return out
+}
+
+// CurCube returns the cube of all current-state variables.
+func (s *Symbolic) CurCube() bdd.Ref { return s.curCube }
+
+// NextCube returns the cube of all next-state variables.
+func (s *Symbolic) NextCube() bdd.Ref { return s.nextCube }
+
+// ToNext renames a current-state set to next-state variables.
+func (s *Symbolic) ToNext(f bdd.Ref) bdd.Ref { return s.toNext.Apply(f) }
+
+// ToCur renames a next-state set to current-state variables.
+func (s *Symbolic) ToCur(f bdd.Ref) bdd.Ref { return s.toCur.Apply(f) }
+
+// RegisterAtom makes the boolean atomic proposition name denote the
+// state set f (over current variables). The set is protected against
+// garbage collection for the structure's lifetime.
+func (s *Symbolic) RegisterAtom(name string, f bdd.Ref) {
+	if old, ok := s.atoms[name]; ok {
+		s.M.Unprotect(old)
+	}
+	s.atoms[name] = s.M.Protect(f)
+}
+
+// RegisterEqAtom installs a resolver for "name = value" atoms over a
+// finite-domain variable.
+func (s *Symbolic) RegisterEqAtom(name string, resolve func(value string) (bdd.Ref, error)) {
+	s.eqAtoms[name] = resolve
+}
+
+// AtomSet resolves an atomic CTL formula (KAtom, KEq or KNeq) to the
+// state set it denotes.
+func (s *Symbolic) AtomSet(f *ctl.Formula) (bdd.Ref, error) {
+	switch f.Kind {
+	case ctl.KAtom:
+		if set, ok := s.atoms[f.Name]; ok {
+			return set, nil
+		}
+		return bdd.False, fmt.Errorf("kripke: unknown atomic proposition %q", f.Name)
+	case ctl.KEq, ctl.KNeq:
+		// Comparison of two boolean atoms: "x = y" as equivalence.
+		if lset, okl := s.atoms[f.Name]; okl {
+			if rset, okr := s.atoms[f.Value]; okr {
+				eq := s.M.Eq(lset, rset)
+				if f.Kind == ctl.KNeq {
+					return s.M.Not(eq), nil
+				}
+				return eq, nil
+			}
+		}
+		res, ok := s.eqAtoms[f.Name]
+		if !ok {
+			// Allow boolean atoms compared against 0/1/true/false.
+			if set, okb := s.atoms[f.Name]; okb {
+				var want bool
+				switch f.Value {
+				case "1", "true", "TRUE":
+					want = true
+				case "0", "false", "FALSE":
+					want = false
+				default:
+					return bdd.False, fmt.Errorf("kripke: %q is boolean; cannot compare with %q", f.Name, f.Value)
+				}
+				if f.Kind == ctl.KNeq {
+					want = !want
+				}
+				if want {
+					return set, nil
+				}
+				return s.M.Not(set), nil
+			}
+			return bdd.False, fmt.Errorf("kripke: unknown variable %q in comparison", f.Name)
+		}
+		set, err := res(f.Value)
+		if err != nil {
+			return bdd.False, err
+		}
+		if f.Kind == ctl.KNeq {
+			return s.M.Not(set), nil
+		}
+		return set, nil
+	}
+	return bdd.False, fmt.Errorf("kripke: AtomSet on non-atomic formula %s", f)
+}
+
+// Image returns the set of successors of the states in from:
+// { t | ∃s ∈ from : R(s,t) }, expressed over current variables. When a
+// conjunctive partition is installed (SetClusters) the relational
+// product is computed cluster by cluster with early quantification.
+func (s *Symbolic) Image(from bdd.Ref) bdd.Ref {
+	if s.part != nil {
+		return s.imagePart(from)
+	}
+	next := s.M.AndExists(from, s.Trans, s.curCube)
+	return s.ToCur(next)
+}
+
+// Preimage returns EX to: the set of states with some successor in to.
+func (s *Symbolic) Preimage(to bdd.Ref) bdd.Ref {
+	if s.part != nil {
+		return s.preimagePart(to)
+	}
+	next := s.ToNext(to)
+	return s.M.AndExists(s.Trans, next, s.nextCube)
+}
+
+// Reachable computes the set of states reachable from Init by a
+// breadth-first least fixpoint, returning the set and the number of
+// frontier iterations. Garbage is collected opportunistically between
+// frontier steps on large models.
+func (s *Symbolic) Reachable() (bdd.Ref, int) {
+	m := s.M
+	reached := m.Protect(s.Init)
+	frontier := m.Protect(s.Init)
+	iters := 0
+	for frontier != bdd.False {
+		iters++
+		img := s.Image(frontier)
+		m.Unprotect(frontier)
+		frontier = m.Protect(m.Diff(img, reached))
+		m.Unprotect(reached)
+		reached = m.Protect(m.Or(reached, frontier))
+		m.MaybeGC()
+	}
+	m.Unprotect(frontier)
+	m.Unprotect(reached)
+	return reached, iters
+}
+
+// CountStates returns the number of states in the set (over the state
+// variables of this structure).
+func (s *Symbolic) CountStates(set bdd.Ref) float64 {
+	// Quantify out any next-state variables, then count over cur vars.
+	over := s.M.Exists(set, s.nextCube)
+	return s.M.SatCount(over, s.M.NumVars()) / pow2(len(s.Vars))
+}
+
+func pow2(n int) float64 {
+	r := 1.0
+	for i := 0; i < n; i++ {
+		r *= 2
+	}
+	return r
+}
+
+// State is a concrete state: the values of the state variables in
+// declaration order.
+type State []bool
+
+// Key packs a state into a comparable string for map keys.
+func (st State) Key() string {
+	b := make([]byte, len(st))
+	for i, v := range st {
+		if v {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}
+
+// PickState extracts one concrete state from a non-empty set,
+// deterministically. Returns nil if the set is empty.
+func (s *Symbolic) PickState(set bdd.Ref) State {
+	vals := s.M.PickOne(set, s.CurVars())
+	if vals == nil {
+		return nil
+	}
+	return State(vals)
+}
+
+// StateCube returns the BDD cube (over current variables) of a single
+// concrete state.
+func (s *Symbolic) StateCube(st State) bdd.Ref {
+	return s.M.MintermCube(s.CurVars(), st)
+}
+
+// Holds reports whether the concrete state st belongs to the set.
+func (s *Symbolic) Holds(set bdd.Ref, st State) bool {
+	env := make([]bool, s.M.NumVars())
+	for i, v := range s.Vars {
+		env[v.Cur] = st[i]
+	}
+	return s.M.Eval(set, env)
+}
+
+// HasEdge reports whether the transition relation contains the edge
+// from -> to.
+func (s *Symbolic) HasEdge(from, to State) bool {
+	env := make([]bool, s.M.NumVars())
+	for i, v := range s.Vars {
+		env[v.Cur] = from[i]
+		env[v.Next] = to[i]
+	}
+	return s.M.Eval(s.Trans, env)
+}
+
+// Successors enumerates the concrete successors of st, up to limit
+// (limit <= 0 means no limit).
+func (s *Symbolic) Successors(st State, limit int) []State {
+	img := s.Image(s.StateCube(st))
+	return s.EnumStates(img, limit)
+}
+
+// EnumStates lists the concrete states of a set, up to limit
+// (limit <= 0 means no limit). The order is deterministic.
+func (s *Symbolic) EnumStates(set bdd.Ref, limit int) []State {
+	var out []State
+	s.M.AllSat(set, s.CurVars(), func(a []bool) bool {
+		st := make(State, len(a))
+		copy(st, a)
+		out = append(out, st)
+		return limit <= 0 || len(out) < limit
+	})
+	return out
+}
+
+// FormatState renders a state as "name=0/1" pairs.
+func (s *Symbolic) FormatState(st State) string {
+	parts := make([]string, len(st))
+	for i, v := range s.Vars {
+		val := "0"
+		if st[i] {
+			val = "1"
+		}
+		parts[i] = v.Name + "=" + val
+	}
+	return strings.Join(parts, " ")
+}
+
+// VarNames returns the state variable names in declaration order.
+func (s *Symbolic) VarNames() []string {
+	out := make([]string, len(s.Vars))
+	for i, v := range s.Vars {
+		out[i] = v.Name
+	}
+	return out
+}
+
+// AddFairness appends a fairness-constraint state set.
+func (s *Symbolic) AddFairness(name string, set bdd.Ref) {
+	s.Fair = append(s.Fair, s.M.Protect(set))
+	s.FairNames = append(s.FairNames, name)
+}
+
+// WithFairness returns a shallow view of the structure with the given
+// fairness constraints in place of the declared ones. The manager, the
+// transition relation and the atoms are shared; only the fairness
+// constraints differ. Used by the CTL* fragment checker (Section 7),
+// which turns GF-terms into fairness constraints on the fly.
+func (s *Symbolic) WithFairness(sets []bdd.Ref, names []string) *Symbolic {
+	view := *s
+	view.Fair = append([]bdd.Ref(nil), sets...)
+	view.FairNames = append([]string(nil), names...)
+	return &view
+}
+
+// AtomNames returns the registered boolean atom names, sorted.
+func (s *Symbolic) AtomNames() []string {
+	out := make([]string, 0, len(s.atoms))
+	for n := range s.atoms {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,98 @@
+package mc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ctl"
+	"repro/internal/kripke"
+)
+
+// TestCareSetAgreesOnReachable: with the reachability care set
+// installed, every formula's satisfaction set must agree with the plain
+// checker on all reachable states.
+func TestCareSetAgreesOnReachable(t *testing.T) {
+	r := rand.New(rand.NewSource(808))
+	atoms := []string{"p", "q"}
+	for trial := 0; trial < 30; trial++ {
+		e := kripke.RandomExplicit(r, 8+r.Intn(8), 2, atoms, trial%3, 0.25)
+		s := kripke.FromExplicit(e)
+		plain := New(s)
+		cared := New(s)
+		reach := cared.UseReachableCareSet()
+		for fi := 0; fi < 6; fi++ {
+			f := randomFormula(r, atoms, 3)
+			pSet, err := plain.Check(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cSet, err := cared.Check(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.M.And(pSet, reach) != cSet {
+				t.Fatalf("trial %d: care-set result differs on reachable states for %s", trial, f)
+			}
+			// the cared set never exceeds the care set
+			if !s.M.Implies(cSet, reach) {
+				t.Fatalf("trial %d: result escapes the care set", trial)
+			}
+		}
+	}
+}
+
+// TestCareSetCheckInitSameVerdicts: verification verdicts at the initial
+// states are identical with and without the optimization.
+func TestCareSetCheckInitSameVerdicts(t *testing.T) {
+	r := rand.New(rand.NewSource(809))
+	atoms := []string{"p", "q"}
+	for trial := 0; trial < 20; trial++ {
+		e := kripke.RandomExplicit(r, 10, 2, atoms, trial%2, 0.3)
+		s := kripke.FromExplicit(e)
+		plain := New(s)
+		cared := New(s)
+		cared.UseReachableCareSet()
+		for fi := 0; fi < 6; fi++ {
+			f := randomFormula(r, atoms, 3)
+			v1, _, err := plain.CheckInit(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v2, _, err := cared.CheckInit(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v1 != v2 {
+				t.Fatalf("trial %d: verdicts differ on %s: plain=%v cared=%v", trial, f, v1, v2)
+			}
+		}
+	}
+}
+
+// TestCareSetClearsMemo: installing a care set after checking must not
+// leak stale unrestricted results.
+func TestCareSetClearsMemo(t *testing.T) {
+	e := kripke.NewExplicit(3)
+	e.AddEdge(0, 1)
+	e.AddEdge(1, 1)
+	e.AddEdge(2, 2) // unreachable
+	e.Label(2, "p")
+	e.AddInit(0)
+	s := kripke.FromExplicit(e)
+	c := New(s)
+	before, err := c.Check(ctl.MustParse("EF p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Holds(before, kripke.IndexState(2, len(s.Vars))) {
+		t.Fatal("without care set, the unreachable p-state satisfies EF p")
+	}
+	c.UseReachableCareSet()
+	after, err := c.Check(ctl.MustParse("EF p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Holds(after, kripke.IndexState(2, len(s.Vars))) {
+		t.Fatal("care set not applied after SetCareSet")
+	}
+}

@@ -1,0 +1,255 @@
+// Package mc implements the symbolic CTL model-checking algorithms of
+// Sections 4 and 5 of the paper: the fixpoint procedures CheckEX,
+// CheckEU and CheckEG, and their fair variants CheckFairEX, CheckFairEU
+// and CheckFairEG. The fair EG procedure additionally saves the
+// approximation sequences ("onion rings") of its inner least fixpoints,
+// which Section 6's witness construction consumes.
+package mc
+
+import (
+	"fmt"
+
+	"repro/internal/bdd"
+	"repro/internal/ctl"
+	"repro/internal/kripke"
+)
+
+// Stats counts fixpoint work for benchmarking.
+type Stats struct {
+	EXCalls      uint64
+	EUFixpoints  uint64
+	EUIterations uint64
+	EGFixpoints  uint64
+	EGIterations uint64
+	FairEGOuter  uint64
+	PeakNodes    int
+}
+
+// Checker evaluates CTL formulas over a symbolic Kripke structure. When
+// the structure declares fairness constraints, the path quantifiers are
+// restricted to fair paths (Section 5).
+type Checker struct {
+	S     *kripke.Symbolic
+	Stats Stats
+
+	fairSet  bdd.Ref // cached CheckFairEG(True); bdd.True when no constraints
+	haveFair bool
+
+	care bdd.Ref // don't-care optimization: all results restricted to care
+
+	memo map[string]bdd.Ref // formula string -> protected state set
+}
+
+// New creates a checker for the structure.
+func New(s *kripke.Symbolic) *Checker {
+	return &Checker{S: s, care: bdd.True, memo: map[string]bdd.Ref{}}
+}
+
+// UseReachableCareSet computes the reachable states and restricts all
+// subsequent checking to them — the classic reachability don't-care
+// optimization. Satisfaction sets returned by Check afterwards are only
+// meaningful on reachable states (which is what CheckInit and witness
+// generation from reachable states consume); intermediate BDDs shrink,
+// often substantially. Must be called before any Check (the memo is
+// cleared).
+func (c *Checker) UseReachableCareSet() bdd.Ref {
+	reach, _ := c.S.Reachable()
+	c.SetCareSet(reach)
+	return reach
+}
+
+// SetCareSet installs an arbitrary care set (bdd.True disables the
+// optimization).
+func (c *Checker) SetCareSet(care bdd.Ref) {
+	for _, r := range c.memo {
+		c.S.M.Unprotect(r)
+	}
+	c.memo = map[string]bdd.Ref{}
+	if c.haveFair {
+		c.S.M.Unprotect(c.fairSet)
+		c.haveFair = false
+	}
+	c.care = c.S.M.Protect(care)
+}
+
+func (c *Checker) note() {
+	if n := c.S.M.NumNodes(); n > c.Stats.PeakNodes {
+		c.Stats.PeakNodes = n
+	}
+}
+
+// EX computes the states with a successor in f (no fairness),
+// restricted to the care set.
+func (c *Checker) EX(f bdd.Ref) bdd.Ref {
+	c.Stats.EXCalls++
+	c.note()
+	pre := c.S.Preimage(f)
+	if c.care != bdd.True {
+		pre = c.S.M.And(pre, c.care)
+	}
+	return pre
+}
+
+// EU computes E[f U g] (no fairness) by the least fixpoint
+// lfp Z [ g ∨ (f ∧ EX Z) ].
+func (c *Checker) EU(f, g bdd.Ref) bdd.Ref {
+	res, _ := c.euApprox(f, g, false)
+	return res
+}
+
+// EUApprox computes E[f U g] and returns the increasing approximation
+// sequence Q_0 ⊆ Q_1 ⊆ ... ⊆ Q_k: Q_i is the set of states from which a
+// state in g can be reached in i or fewer steps while satisfying f. The
+// rings are the raw material of the witness walk.
+func (c *Checker) EUApprox(f, g bdd.Ref) (bdd.Ref, []bdd.Ref) {
+	return c.euApprox(f, g, true)
+}
+
+func (c *Checker) euApprox(f, g bdd.Ref, keepRings bool) (bdd.Ref, []bdd.Ref) {
+	m := c.S.M
+	c.Stats.EUFixpoints++
+	var rings []bdd.Ref
+	q := g
+	if keepRings {
+		rings = append(rings, q)
+	}
+	for {
+		c.Stats.EUIterations++
+		c.note()
+		next := m.Or(q, m.And(f, c.EX(q)))
+		if next == q {
+			return q, rings
+		}
+		q = next
+		if keepRings {
+			rings = append(rings, q)
+		}
+	}
+}
+
+// EG computes EG f (no fairness) by the greatest fixpoint
+// gfp Z [ f ∧ EX Z ].
+func (c *Checker) EG(f bdd.Ref) bdd.Ref {
+	m := c.S.M
+	c.Stats.EGFixpoints++
+	z := f
+	for {
+		c.Stats.EGIterations++
+		c.note()
+		next := m.And(f, c.EX(z))
+		next = m.And(next, z) // monotone anyway; keeps the invariant explicit
+		if next == z {
+			return z
+		}
+		z = next
+	}
+}
+
+// EF computes EF f = E[true U f].
+func (c *Checker) EF(f bdd.Ref) bdd.Ref { return c.EU(bdd.True, f) }
+
+// Check evaluates an arbitrary CTL formula and returns the set of states
+// satisfying it. The formula is simplified (fairness-soundly) and
+// rewritten into the existential basis first; fairness constraints on
+// the structure are honored. Results are memoized per formula text, and
+// the returned set is protected against garbage collection for the
+// checker's lifetime.
+func (c *Checker) Check(f *ctl.Formula) (bdd.Ref, error) {
+	g := ctl.Existential(ctl.Simplify(f))
+	return c.checkBasis(g)
+}
+
+// MustCheck is Check, panicking on error (unknown atoms).
+func (c *Checker) MustCheck(f *ctl.Formula) bdd.Ref {
+	set, err := c.Check(f)
+	if err != nil {
+		panic(err)
+	}
+	return set
+}
+
+// CheckInit reports whether every initial state satisfies f.
+func (c *Checker) CheckInit(f *ctl.Formula) (bool, bdd.Ref, error) {
+	set, err := c.Check(f)
+	if err != nil {
+		return false, bdd.False, err
+	}
+	return c.S.M.Implies(c.S.Init, set), set, nil
+}
+
+// checkBasis evaluates a formula in the existential basis.
+func (c *Checker) checkBasis(f *ctl.Formula) (bdd.Ref, error) {
+	key := f.String()
+	if r, ok := c.memo[key]; ok {
+		return r, nil
+	}
+	m := c.S.M
+	var res bdd.Ref
+	switch f.Kind {
+	case ctl.KTrue:
+		res = bdd.True
+	case ctl.KFalse:
+		res = bdd.False
+	case ctl.KAtom, ctl.KEq, ctl.KNeq:
+		set, err := c.S.AtomSet(f)
+		if err != nil {
+			return bdd.False, err
+		}
+		res = set
+	case ctl.KNot:
+		l, err := c.checkBasis(f.L)
+		if err != nil {
+			return bdd.False, err
+		}
+		res = m.Not(l)
+	case ctl.KAnd, ctl.KOr:
+		l, err := c.checkBasis(f.L)
+		if err != nil {
+			return bdd.False, err
+		}
+		r, err := c.checkBasis(f.R)
+		if err != nil {
+			return bdd.False, err
+		}
+		if f.Kind == ctl.KAnd {
+			res = m.And(l, r)
+		} else {
+			res = m.Or(l, r)
+		}
+	case ctl.KEX:
+		l, err := c.checkBasis(f.L)
+		if err != nil {
+			return bdd.False, err
+		}
+		res = c.FairEX(l)
+	case ctl.KEU:
+		l, err := c.checkBasis(f.L)
+		if err != nil {
+			return bdd.False, err
+		}
+		r, err := c.checkBasis(f.R)
+		if err != nil {
+			return bdd.False, err
+		}
+		res = c.FairEU(l, r)
+	case ctl.KEG:
+		l, err := c.checkBasis(f.L)
+		if err != nil {
+			return bdd.False, err
+		}
+		if len(c.S.Fair) == 0 {
+			res = c.EG(l)
+		} else {
+			fr, _ := c.FairEG(l)
+			res = fr
+		}
+	default:
+		return bdd.False, fmt.Errorf("mc: formula not in existential basis: %s", f)
+	}
+	if c.care != bdd.True {
+		res = m.And(res, c.care)
+	}
+	m.Protect(res)
+	c.memo[key] = res
+	return res, nil
+}

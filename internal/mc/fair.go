@@ -1,0 +1,125 @@
+package mc
+
+import (
+	"repro/internal/bdd"
+)
+
+// Fair CTL checking (Section 5). A path is fair if every constraint
+// h ∈ H holds infinitely often along it. EG is the interesting case:
+//
+//	CheckFairEG(f) = gfp Z [ f ∧ ⋀_{k} EX( E[f U Z ∧ h_k] ) ]
+//
+// EX and EU reduce to the unfair procedures against the set fair of
+// states that start some fair path:
+//
+//	CheckFairEX(f)   = CheckEX(f ∧ fair)
+//	CheckFairEU(f,g) = CheckEU(f, g ∧ fair)
+
+// Rings holds the saved approximation sequences of the inner least
+// fixpoints E[f U Z ∧ h_k] from the final outer iteration of fair EG,
+// with Z equal to the fixpoint. Rings[k][i] is the set of states from
+// which some state of (EG f) ∧ h_k is reachable in i or fewer steps
+// along f-states. This is precisely the data Section 6's witness
+// construction walks over.
+type Rings struct {
+	F       bdd.Ref     // the f the rings were computed for
+	Result  bdd.Ref     // the fair EG f fixpoint
+	PerFair [][]bdd.Ref // PerFair[k] = rings for fairness constraint k
+}
+
+// FairEG computes EG f under the structure's fairness constraints and
+// returns the saved rings. With no fairness constraints it degenerates
+// to plain EG and a single pseudo-constraint "true" so that witness
+// construction still has rings to walk (the cycle must merely return to
+// the EG set).
+func (c *Checker) FairEG(f bdd.Ref) (bdd.Ref, *Rings) {
+	m := c.S.M
+	fair := c.S.Fair
+	if len(fair) == 0 {
+		// Treat as a single trivial constraint h = true.
+		fair = []bdd.Ref{bdd.True}
+	}
+
+	z := f
+	for {
+		c.Stats.FairEGOuter++
+		c.note()
+		next := f
+		for _, h := range fair {
+			target := m.And(z, h)
+			eu := c.EU(f, target)
+			next = m.And(next, c.EX(eu))
+		}
+		next = m.And(next, z)
+		if next == z {
+			break
+		}
+		z = next
+	}
+
+	// Final pass with Z at the fixpoint: save the rings.
+	rings := &Rings{F: m.Protect(f), Result: m.Protect(z)}
+	for _, h := range fair {
+		target := m.And(z, h)
+		_, rs := c.EUApprox(f, target)
+		for _, r := range rs {
+			m.Protect(r)
+		}
+		rings.PerFair = append(rings.PerFair, rs)
+	}
+	return z, rings
+}
+
+// Release unprotects the rings' BDDs. Call when witness construction is
+// done with them.
+func (r *Rings) Release(m *bdd.Manager) {
+	m.Unprotect(r.F)
+	m.Unprotect(r.Result)
+	for _, rs := range r.PerFair {
+		for _, q := range rs {
+			m.Unprotect(q)
+		}
+	}
+}
+
+// Fair returns the set of states from which some fair path begins
+// (CheckFair(EG true)); it is cached. Without fairness constraints every
+// state of a total structure qualifies, so True is returned.
+func (c *Checker) Fair() bdd.Ref {
+	if c.haveFair {
+		return c.fairSet
+	}
+	if len(c.S.Fair) == 0 {
+		c.fairSet = bdd.True
+	} else {
+		res, rings := c.FairEG(bdd.True)
+		rings.Release(c.S.M)
+		c.fairSet = c.S.M.Protect(res)
+	}
+	c.haveFair = true
+	return c.fairSet
+}
+
+// FairEX computes EX f under fairness.
+func (c *Checker) FairEX(f bdd.Ref) bdd.Ref {
+	if len(c.S.Fair) == 0 {
+		return c.EX(f)
+	}
+	return c.EX(c.S.M.And(f, c.Fair()))
+}
+
+// FairEU computes E[f U g] under fairness.
+func (c *Checker) FairEU(f, g bdd.Ref) bdd.Ref {
+	if len(c.S.Fair) == 0 {
+		return c.EU(f, g)
+	}
+	return c.EU(f, c.S.M.And(g, c.Fair()))
+}
+
+// FairEUApprox is FairEU with the approximation rings (for witnesses).
+func (c *Checker) FairEUApprox(f, g bdd.Ref) (bdd.Ref, []bdd.Ref) {
+	if len(c.S.Fair) == 0 {
+		return c.EUApprox(f, g)
+	}
+	return c.EUApprox(f, c.S.M.And(g, c.Fair()))
+}

@@ -1,0 +1,336 @@
+package smv
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/bdd"
+	"repro/internal/kripke"
+)
+
+// ValueKind discriminates domain values.
+type ValueKind int
+
+const (
+	VBool ValueKind = iota
+	VInt
+	VSym
+)
+
+// Value is one element of a variable's domain (or an expression value).
+type Value struct {
+	Kind ValueKind
+	B    bool
+	I    int
+	S    string
+}
+
+func (v Value) String() string {
+	switch v.Kind {
+	case VBool:
+		if v.B {
+			return "TRUE"
+		}
+		return "FALSE"
+	case VInt:
+		return strconv.Itoa(v.I)
+	default:
+		return v.S
+	}
+}
+
+func (v Value) equal(w Value) bool { return v == w }
+
+// VarInfo records how a declared variable is encoded.
+type VarInfo struct {
+	Decl   *VarDecl
+	Values []Value // domain in encoding order
+	Bits   []int   // indices into Compiled.S.Vars, LSB first
+}
+
+// Compiled is the result of compiling a module: a symbolic Kripke
+// structure plus the variable encoding and the parsed specifications.
+type Compiled struct {
+	S      *kripke.Symbolic
+	Module *Module
+	Vars   map[string]*VarInfo
+	Order  []string // variable declaration order
+
+	defines map[string]*Define
+	defMemo map[string]*result
+	defBusy map[string]bool
+}
+
+// result is an evaluated expression: either a boolean state set or a
+// partition of the state space by value.
+type result struct {
+	isBool bool
+	isSet  bool // came from a set literal: conditions may overlap
+	b      bdd.Ref
+	cases  []valCase
+}
+
+type valCase struct {
+	v    Value
+	cond bdd.Ref
+}
+
+// Compile type-checks and compiles the module into a symbolic structure.
+func Compile(m *Module) (*Compiled, error) {
+	c := &Compiled{
+		Module:  m,
+		Vars:    map[string]*VarInfo{},
+		defines: map[string]*Define{},
+		defMemo: map[string]*result{},
+		defBusy: map[string]bool{},
+	}
+	// Allocate bits.
+	var names []string
+	for _, vd := range m.Vars {
+		if vd.Type.Kind == TypeInstance {
+			return nil, &Error{Line: vd.line,
+				Msg: fmt.Sprintf("variable %q instantiates a module; flatten the program first (CompileProgram)", vd.Name)}
+		}
+		if c.Vars[vd.Name] != nil {
+			return nil, &Error{Line: vd.line, Msg: fmt.Sprintf("variable %q redeclared", vd.Name)}
+		}
+		info := &VarInfo{Decl: vd, Values: domainValues(vd.Type)}
+		nbits := bitsFor(len(info.Values))
+		for b := 0; b < nbits; b++ {
+			bitName := vd.Name
+			if nbits > 1 {
+				bitName = fmt.Sprintf("%s.%d", vd.Name, b)
+			}
+			info.Bits = append(info.Bits, len(names))
+			names = append(names, bitName)
+		}
+		c.Vars[vd.Name] = info
+		c.Order = append(c.Order, vd.Name)
+	}
+	for _, d := range m.Defines {
+		if c.defines[d.Name] != nil {
+			return nil, &Error{Line: d.line, Msg: fmt.Sprintf("define %q redeclared", d.Name)}
+		}
+		if c.Vars[d.Name] != nil {
+			return nil, &Error{Line: d.line, Msg: fmt.Sprintf("define %q shadows a variable", d.Name)}
+		}
+		c.defines[d.Name] = d
+	}
+
+	c.S = kripke.NewSymbolic(names)
+	mgr := c.S.M
+
+	// Domain-validity invariant for domains that are not powers of two.
+	valid := bdd.True
+	for _, name := range c.Order {
+		info := c.Vars[name]
+		if len(info.Values) == 1<<len(info.Bits) {
+			continue
+		}
+		anyVal := bdd.False
+		for i := range info.Values {
+			anyVal = mgr.Or(anyVal, c.encodeValue(info, i, false))
+		}
+		valid = mgr.And(valid, anyVal)
+	}
+
+	// Register atoms for SPEC resolution.
+	if err := c.registerAtoms(); err != nil {
+		return nil, err
+	}
+
+	// Assignments.
+	seen := map[string]bool{}
+	initRel := bdd.True
+	transRel := bdd.True
+	var transClusters []bdd.Ref
+	for _, a := range m.Assigns {
+		info := c.Vars[a.Var]
+		if info == nil {
+			return nil, &Error{Line: a.line, Msg: fmt.Sprintf("assignment to undeclared variable %q", a.Var)}
+		}
+		key := fmt.Sprintf("%d:%s", a.Kind, a.Var)
+		if seen[key] {
+			return nil, &Error{Line: a.line, Msg: fmt.Sprintf("duplicate assignment for %q", a.Var)}
+		}
+		seen[key] = true
+		rhs, err := c.eval(a.RHS, a.Kind == AssignNext)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := c.assignRelation(info, rhs, a)
+		if err != nil {
+			return nil, err
+		}
+		if a.Kind == AssignInit {
+			initRel = mgr.And(initRel, rel)
+		} else {
+			transRel = mgr.And(transRel, rel)
+			transClusters = append(transClusters, rel)
+		}
+	}
+
+	// Constraint sections.
+	for _, e := range m.Inits {
+		b, err := c.evalBool(e, false)
+		if err != nil {
+			return nil, err
+		}
+		initRel = mgr.And(initRel, b)
+	}
+	for _, e := range m.Trans {
+		b, err := c.evalBool(e, true)
+		if err != nil {
+			return nil, err
+		}
+		transRel = mgr.And(transRel, b)
+		transClusters = append(transClusters, b)
+	}
+	invar := valid
+	for _, e := range m.Invars {
+		b, err := c.evalBool(e, false)
+		if err != nil {
+			return nil, err
+		}
+		invar = mgr.And(invar, b)
+	}
+
+	c.S.Init = mgr.And(initRel, invar)
+	c.S.Trans = mgr.AndN(transRel, invar, c.S.ToNext(invar))
+	c.S.Invar = invar
+	mgr.Protect(c.S.Init)
+	mgr.Protect(c.S.Trans)
+	mgr.Protect(c.S.Invar)
+	if invar != bdd.True {
+		transClusters = append(transClusters, invar, c.S.ToNext(invar))
+	}
+	if len(transClusters) > 1 {
+		c.S.SetClusters(transClusters)
+	}
+
+	for i, e := range m.Fairness {
+		b, err := c.evalBool(e, false)
+		if err != nil {
+			return nil, err
+		}
+		c.S.AddFairness(fmt.Sprintf("FAIRNESS#%d(%s)", i, e.String()), b)
+	}
+	return c, nil
+}
+
+// CompileSource parses and compiles in one step.
+func CompileSource(src string) (*Compiled, error) {
+	m, err := ParseModule(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(m)
+}
+
+func bitsFor(n int) int {
+	b := 1
+	for 1<<b < n {
+		b++
+	}
+	return b
+}
+
+func domainValues(t *Type) []Value {
+	switch t.Kind {
+	case TypeBool:
+		return []Value{{Kind: VBool, B: false}, {Kind: VBool, B: true}}
+	case TypeEnum:
+		out := make([]Value, len(t.Enum))
+		for i, s := range t.Enum {
+			out[i] = Value{Kind: VSym, S: s}
+		}
+		return out
+	default:
+		out := make([]Value, t.Hi-t.Lo+1)
+		for i := range out {
+			out[i] = Value{Kind: VInt, I: t.Lo + i}
+		}
+		return out
+	}
+}
+
+// encodeValue returns the BDD of "variable = Values[idx]" over the
+// current (next=false) or next (next=true) copy.
+func (c *Compiled) encodeValue(info *VarInfo, idx int, next bool) bdd.Ref {
+	m := c.S.M
+	res := bdd.True
+	for b, bitPos := range info.Bits {
+		sv := c.S.Vars[bitPos]
+		var bddVar int
+		if next {
+			bddVar = sv.Next
+		} else {
+			bddVar = sv.Cur
+		}
+		if idx>>b&1 == 1 {
+			res = m.And(res, m.Var(bddVar))
+		} else {
+			res = m.And(res, m.NVar(bddVar))
+		}
+	}
+	return res
+}
+
+// varCases returns the partition of the state space by the variable's
+// value.
+func (c *Compiled) varCases(info *VarInfo, next bool) []valCase {
+	out := make([]valCase, len(info.Values))
+	for i, v := range info.Values {
+		out[i] = valCase{v: v, cond: c.encodeValue(info, i, next)}
+	}
+	return out
+}
+
+// valueIndex finds a value in a variable's domain.
+func (info *VarInfo) valueIndex(v Value) int {
+	for i, w := range info.Values {
+		if w.equal(v) {
+			return i
+		}
+	}
+	return -1
+}
+
+// assignRelation builds the constraint "copy(var) ∈ rhs" where copy is
+// the initial (current) or next copy depending on the assignment kind.
+func (c *Compiled) assignRelation(info *VarInfo, rhs *result, a *Assign) (bdd.Ref, error) {
+	m := c.S.M
+	next := a.Kind == AssignNext
+	if rhs.isBool {
+		if info.Decl.Type.Kind != TypeBool {
+			return bdd.False, &Error{Line: a.line,
+				Msg: fmt.Sprintf("assigning boolean expression to %s variable %q", info.Decl.Type, info.Decl.Name)}
+		}
+		trueEnc := c.encodeValue(info, 1, next)
+		return m.Eq(trueEnc, rhs.b), nil
+	}
+	rel := bdd.False
+	for _, vc := range rhs.cases {
+		if vc.cond == bdd.False {
+			continue
+		}
+		idx := info.valueIndex(coerceToDomain(vc.v, info.Decl.Type))
+		if idx < 0 {
+			return bdd.False, &Error{Line: a.line,
+				Msg: fmt.Sprintf("value %s outside the domain %s of %q", vc.v, info.Decl.Type, info.Decl.Name)}
+		}
+		rel = m.Or(rel, m.And(vc.cond, c.encodeValue(info, idx, next)))
+	}
+	if rel == bdd.False {
+		return bdd.False, &Error{Line: a.line, Msg: fmt.Sprintf("assignment to %q has no feasible value", info.Decl.Name)}
+	}
+	return rel, nil
+}
+
+// coerceToDomain maps boolean-ish values into boolean domains.
+func coerceToDomain(v Value, t *Type) Value {
+	if t.Kind == TypeBool && v.Kind == VInt && (v.I == 0 || v.I == 1) {
+		return Value{Kind: VBool, B: v.I == 1}
+	}
+	return v
+}

@@ -1,0 +1,147 @@
+package smv
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// lex tokenizes SMV source. Comments run from "--" to end of line.
+func lex(src string) ([]token, error) {
+	runes := []rune(src)
+	var toks []token
+	line, col := 1, 1
+	pos := 0
+
+	advance := func() {
+		if runes[pos] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+		pos++
+	}
+	peek := func(off int) rune {
+		if pos+off >= len(runes) {
+			return 0
+		}
+		return runes[pos+off]
+	}
+	emit := func(k tokKind, text string, l, c int) {
+		toks = append(toks, token{kind: k, text: text, line: l, col: c})
+	}
+
+	for pos < len(runes) {
+		c := runes[pos]
+		switch {
+		case unicode.IsSpace(c):
+			advance()
+		case c == '-' && peek(1) == '-':
+			for pos < len(runes) && runes[pos] != '\n' {
+				advance()
+			}
+		case unicode.IsLetter(c) || c == '_':
+			l0, c0 := line, col
+			start := pos
+			for pos < len(runes) && (unicode.IsLetter(runes[pos]) || unicode.IsDigit(runes[pos]) ||
+				runes[pos] == '_' || runes[pos] == '.') {
+				// ".." is a token, not part of an identifier
+				if runes[pos] == '.' && peek(1) == '.' {
+					break
+				}
+				advance()
+			}
+			emit(tIdent, string(runes[start:pos]), l0, c0)
+		case unicode.IsDigit(c):
+			l0, c0 := line, col
+			start := pos
+			for pos < len(runes) && unicode.IsDigit(runes[pos]) {
+				advance()
+			}
+			emit(tNumber, string(runes[start:pos]), l0, c0)
+		default:
+			l0, c0 := line, col
+			two := string(c) + string(peek(1))
+			three := two + string(peek(2))
+			switch {
+			case three == "<->":
+				advance()
+				advance()
+				advance()
+				emit(tIff, three, l0, c0)
+			case two == ":=":
+				advance()
+				advance()
+				emit(tAssign, two, l0, c0)
+			case two == "..":
+				advance()
+				advance()
+				emit(tDotDot, two, l0, c0)
+			case two == "->":
+				advance()
+				advance()
+				emit(tImp, two, l0, c0)
+			case two == "!=":
+				advance()
+				advance()
+				emit(tNeq, two, l0, c0)
+			case two == "<=":
+				advance()
+				advance()
+				emit(tLe, two, l0, c0)
+			case two == ">=":
+				advance()
+				advance()
+				emit(tGe, two, l0, c0)
+			default:
+				var k tokKind
+				switch c {
+				case '(':
+					k = tLParen
+				case ')':
+					k = tRParen
+				case '{':
+					k = tLBrace
+				case '}':
+					k = tRBrace
+				case '[':
+					k = tLBracket
+				case ']':
+					k = tRBracket
+				case ';':
+					k = tSemi
+				case ':':
+					k = tColon
+				case ',':
+					k = tComma
+				case '!':
+					k = tNot
+				case '&':
+					k = tAnd
+				case '|':
+					k = tOr
+				case '=':
+					k = tEq
+				case '<':
+					k = tLt
+				case '>':
+					k = tGt
+				case '+':
+					k = tPlus
+				case '-':
+					k = tMinus
+				case '*':
+					k = tStar
+				case '/':
+					k = tSlash
+				default:
+					return nil, &Error{Line: l0, Col: c0, Msg: fmt.Sprintf("unexpected character %q", c)}
+				}
+				advance()
+				emit(k, string(c), l0, c0)
+			}
+		}
+	}
+	emit(tEOF, "", line, col)
+	return toks, nil
+}

@@ -1,0 +1,266 @@
+package smv
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/kripke"
+)
+
+// A differential test for the expression compiler: random boolean
+// expressions over a mixed-type variable set are compiled to BDDs and,
+// independently, interpreted concretely on every state; the two must
+// agree everywhere.
+
+// concreteEval interprets an expression at a concrete state, returning
+// the set of possible values (singleton for deterministic expressions).
+func concreteEval(t *testing.T, c *Compiled, e Expr, st kripke.State) []Value {
+	t.Helper()
+	switch x := e.(type) {
+	case *BoolLit:
+		return []Value{{Kind: VBool, B: x.Val}}
+	case *Num:
+		return []Value{{Kind: VInt, I: x.Val}}
+	case *Ident:
+		if c.Vars[x.Name] != nil {
+			return []Value{c.StateValue(st, x.Name)}
+		}
+		if d := c.defines[x.Name]; d != nil {
+			return concreteEval(t, c, d.Body, st)
+		}
+		return []Value{{Kind: VSym, S: x.Name}}
+	case *Unary:
+		vs := concreteEval(t, c, x.X, st)
+		out := make([]Value, 0, len(vs))
+		for _, v := range vs {
+			switch x.Op {
+			case tNot:
+				out = append(out, Value{Kind: VBool, B: !truthy(t, v)})
+			case tMinus:
+				out = append(out, Value{Kind: VInt, I: -v.I})
+			}
+		}
+		return out
+	case *Binary:
+		return concreteBinary(t, c, x, st)
+	case *SetLit:
+		var out []Value
+		for _, el := range x.Elems {
+			out = append(out, concreteEval(t, c, el, st)...)
+		}
+		return out
+	case *CaseExpr:
+		for i := range x.Conds {
+			cv := concreteEval(t, c, x.Conds[i], st)
+			if truthy(t, cv[0]) {
+				return concreteEval(t, c, x.Vals[i], st)
+			}
+		}
+		return []Value{{Kind: VBool, B: false}} // uncovered boolean case
+	}
+	t.Fatalf("unhandled expr %T", e)
+	return nil
+}
+
+func truthy(t *testing.T, v Value) bool {
+	t.Helper()
+	switch v.Kind {
+	case VBool:
+		return v.B
+	case VInt:
+		return v.I == 1
+	}
+	t.Fatalf("non-boolean value %s in boolean position", v)
+	return false
+}
+
+func concreteBinary(t *testing.T, c *Compiled, x *Binary, st kripke.State) []Value {
+	t.Helper()
+	l := concreteEval(t, c, x.L, st)
+	r := concreteEval(t, c, x.R, st)
+	b := func(v bool) []Value { return []Value{{Kind: VBool, B: v}} }
+	switch x.Op {
+	case tAnd:
+		return b(truthy(t, l[0]) && truthy(t, r[0]))
+	case tOr:
+		return b(truthy(t, l[0]) || truthy(t, r[0]))
+	case tImp:
+		return b(!truthy(t, l[0]) || truthy(t, r[0]))
+	case tIff:
+		return b(truthy(t, l[0]) == truthy(t, r[0]))
+	case tEq, tNeq, tLt, tLe, tGt, tGe:
+		holds, err := compareValues(x.Op, l[0], r[0], x.tok)
+		if err != nil {
+			t.Fatalf("compare: %v", err)
+		}
+		return b(holds)
+	case tIn:
+		for _, rv := range r {
+			eq, err := compareValues(tEq, l[0], rv, x.tok)
+			if err != nil {
+				t.Fatalf("in: %v", err)
+			}
+			if eq {
+				return b(true)
+			}
+		}
+		return b(false)
+	case tPlus, tMinus, tStar, tMod:
+		a, bb := l[0].I, r[0].I
+		switch x.Op {
+		case tPlus:
+			return []Value{{Kind: VInt, I: a + bb}}
+		case tMinus:
+			return []Value{{Kind: VInt, I: a - bb}}
+		case tStar:
+			return []Value{{Kind: VInt, I: a * bb}}
+		default:
+			return []Value{{Kind: VInt, I: ((a % bb) + bb) % bb}}
+		}
+	case tUnion:
+		return append(append([]Value{}, l...), r...)
+	}
+	t.Fatalf("unhandled op %v", x.Op)
+	return nil
+}
+
+// randBoolExpr generates a random boolean expression over the fixture's
+// variables; randValExpr generates integer-valued ones.
+func randBoolExpr(r *rand.Rand, depth int) Expr {
+	if depth == 0 || r.Intn(4) == 0 {
+		switch r.Intn(5) {
+		case 0:
+			return &BoolLit{Val: r.Intn(2) == 0}
+		case 1:
+			return &Ident{Name: "flag"}
+		case 2:
+			return &Binary{Op: tEq, L: &Ident{Name: "st"}, R: &Ident{Name: []string{"red", "green", "blue"}[r.Intn(3)]}}
+		case 3:
+			return &Binary{Op: []tokKind{tLt, tLe, tGt, tGe, tEq, tNeq}[r.Intn(6)],
+				L: randValExpr(r, 1), R: randValExpr(r, 1)}
+		default:
+			return &Binary{Op: tIn, L: randValExpr(r, 0),
+				R: &SetLit{Elems: []Expr{randValExpr(r, 0), randValExpr(r, 0)}}}
+		}
+	}
+	switch r.Intn(5) {
+	case 0:
+		return &Unary{Op: tNot, X: randBoolExpr(r, depth-1)}
+	case 1:
+		return &Binary{Op: tAnd, L: randBoolExpr(r, depth-1), R: randBoolExpr(r, depth-1)}
+	case 2:
+		return &Binary{Op: tOr, L: randBoolExpr(r, depth-1), R: randBoolExpr(r, depth-1)}
+	case 3:
+		return &Binary{Op: tImp, L: randBoolExpr(r, depth-1), R: randBoolExpr(r, depth-1)}
+	default:
+		ce := &CaseExpr{}
+		ce.Conds = append(ce.Conds, randBoolExpr(r, depth-1), &BoolLit{Val: true})
+		ce.Vals = append(ce.Vals, randBoolExpr(r, depth-1), randBoolExpr(r, depth-1))
+		return ce
+	}
+}
+
+func randValExpr(r *rand.Rand, depth int) Expr {
+	if depth == 0 || r.Intn(2) == 0 {
+		if r.Intn(2) == 0 {
+			return &Ident{Name: "n"}
+		}
+		return &Num{Val: r.Intn(4)}
+	}
+	op := []tokKind{tPlus, tMinus, tStar}[r.Intn(3)]
+	e := &Binary{Op: op, L: randValExpr(r, depth-1), R: randValExpr(r, depth-1)}
+	// keep values in a sane range via mod
+	return &Binary{Op: tMod, L: e, R: &Num{Val: 8}}
+}
+
+func TestExpressionCompilerAgainstInterpreter(t *testing.T) {
+	c := compileOK(t, `
+MODULE main
+VAR
+  flag : boolean;
+  st   : {red, green, blue};
+  n    : 0..3;
+`)
+	// enumerate the full (valid) state space
+	all := c.S.EnumStates(c.S.Invar, 0)
+	if len(all) != 2*3*4 {
+		t.Fatalf("state space has %d states, want 24", len(all))
+	}
+	r := rand.New(rand.NewSource(7777))
+	for trial := 0; trial < 300; trial++ {
+		e := randBoolExpr(r, 3)
+		res, err := c.eval(e, false)
+		if err != nil {
+			t.Fatalf("trial %d: compile %s: %v", trial, e, err)
+		}
+		set, err := asBool(c.S.M, res, token{})
+		if err != nil {
+			t.Fatalf("trial %d: asBool %s: %v", trial, e, err)
+		}
+		for _, st := range all {
+			want := truthy(t, concreteEval(t, c, e, st)[0])
+			got := c.S.Holds(set, st)
+			if got != want {
+				t.Fatalf("trial %d: %s disagrees at %s: bdd=%v interp=%v",
+					trial, e, c.FormatStateByVars(st), got, want)
+			}
+		}
+	}
+}
+
+// TestValuedExpressionsAgainstInterpreter checks the case partition of
+// integer-valued expressions.
+func TestValuedExpressionsAgainstInterpreter(t *testing.T) {
+	c := compileOK(t, `
+MODULE main
+VAR
+  flag : boolean;
+  st   : {red, green, blue};
+  n    : 0..3;
+`)
+	all := c.S.EnumStates(c.S.Invar, 0)
+	r := rand.New(rand.NewSource(8888))
+	for trial := 0; trial < 200; trial++ {
+		e := randValExpr(r, 3)
+		res, err := c.eval(e, false)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.isBool {
+			t.Fatalf("trial %d: integer expression compiled to bool", trial)
+		}
+		for _, st := range all {
+			want := concreteEval(t, c, e, st)[0]
+			// find the case whose condition holds at st
+			found := false
+			for _, vc := range res.cases {
+				if c.S.Holds(vc.cond, st) {
+					if !vc.v.equal(want) {
+						t.Fatalf("trial %d: %s at %s: bdd=%s interp=%s",
+							trial, e, c.FormatStateByVars(st), vc.v, want)
+					}
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("trial %d: no case covers state %s", trial, c.FormatStateByVars(st))
+			}
+		}
+	}
+}
+
+// sanity: the fixture exposes the names the generators use.
+func TestOracleFixture(t *testing.T) {
+	c := compileOK(t, `
+MODULE main
+VAR flag : boolean; st : {red, green, blue}; n : 0..3;
+`)
+	for _, name := range []string{"flag", "st", "n"} {
+		if c.Vars[name] == nil {
+			t.Fatalf("fixture variable %q missing", name)
+		}
+	}
+	_ = fmt.Sprintf
+}

@@ -1,0 +1,61 @@
+package smv
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSimulateProducesValidWalk(t *testing.T) {
+	c := compileOK(t, `
+MODULE main
+VAR n : 0..7;
+ASSIGN
+  init(n) := 0;
+  next(n) := {(n + 1) mod 8, n};
+`)
+	rng := rand.New(rand.NewSource(42))
+	tr, err := c.Simulate(rng, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 21 {
+		t.Fatalf("walk has %d states, want 21", tr.Len())
+	}
+	for i := 1; i < len(tr.States); i++ {
+		if !c.S.HasEdge(tr.States[i-1], tr.States[i]) {
+			t.Fatalf("invalid step %d", i)
+		}
+	}
+	if !c.S.Holds(c.S.Init, tr.States[0]) {
+		t.Fatal("walk must start at an initial state")
+	}
+}
+
+func TestSimulateDeadlockReported(t *testing.T) {
+	c := compileOK(t, `
+MODULE main
+VAR x : boolean;
+INIT !x
+TRANS !x & next(x)
+`)
+	rng := rand.New(rand.NewSource(1))
+	tr, err := c.Simulate(rng, 10)
+	if err == nil {
+		t.Fatal("deadlock must be reported")
+	}
+	if tr == nil || tr.Len() < 2 {
+		t.Fatal("partial walk should be returned")
+	}
+}
+
+func TestSimulateZeroSteps(t *testing.T) {
+	c := compileOK(t, `
+MODULE main
+VAR x : boolean;
+ASSIGN init(x) := TRUE;
+`)
+	tr, err := c.Simulate(rand.New(rand.NewSource(3)), 0)
+	if err != nil || tr.Len() != 1 {
+		t.Fatalf("zero-step walk: %v %v", tr, err)
+	}
+}

@@ -1,0 +1,103 @@
+// Package smv implements a compiler for an SMV-like modeling language —
+// the input language of the model checker the paper describes — onto the
+// symbolic Kripke structures of internal/kripke.
+//
+// The supported subset covers the models in the paper's experiments:
+//
+//	MODULE main
+//	VAR   x : boolean;  st : {idle, busy};  n : 0..7;
+//	ASSIGN
+//	  init(x) := FALSE;
+//	  next(x) := case cond1 : expr1; TRUE : expr2; esac;
+//	  next(st) := {idle, busy};        -- nondeterministic choice
+//	DEFINE ready := st = idle & !x;
+//	INIT  expr        TRANS expr       INVAR expr
+//	FAIRNESS expr
+//	SPEC  AG (req -> AF ack)
+//
+// Expressions include boolean connectives, (in)equalities, ordering and
+// modular arithmetic on range variables, case/esac, and set literals in
+// assignment right-hand sides. SPEC formulas use the CTL syntax of
+// internal/ctl; DEFINE names act as atomic propositions there.
+package smv
+
+import "fmt"
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNumber
+	tLParen
+	tRParen
+	tLBrace
+	tRBrace
+	tLBracket
+	tRBracket
+	tSemi
+	tColon
+	tComma
+	tAssign // :=
+	tDotDot // ..
+	tNot
+	tAnd
+	tOr
+	tImp
+	tIff
+	tEq
+	tNeq
+	tLt
+	tLe
+	tGt
+	tGe
+	tPlus
+	tMinus
+	tStar
+	tSlash
+	tMod   // produced by the parser from the identifier "mod"
+	tIn    // produced by the parser from the identifier "in"
+	tUnion // produced by the parser from the identifier "union"
+)
+
+var tokNames = map[tokKind]string{
+	tEOF: "end of input", tIdent: "identifier", tNumber: "number",
+	tLParen: "'('", tRParen: "')'", tLBrace: "'{'", tRBrace: "'}'",
+	tLBracket: "'['", tRBracket: "']'",
+	tSemi: "';'", tColon: "':'", tComma: "','", tAssign: "':='",
+	tDotDot: "'..'", tNot: "'!'", tAnd: "'&'", tOr: "'|'", tImp: "'->'",
+	tIff: "'<->'", tEq: "'='", tNeq: "'!='", tLt: "'<'", tLe: "'<='",
+	tGt: "'>'", tGe: "'>='", tPlus: "'+'", tMinus: "'-'", tStar: "'*'",
+	tSlash: "'/'",
+}
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	if t.kind == tIdent || t.kind == tNumber {
+		return fmt.Sprintf("%q", t.text)
+	}
+	return tokNames[t.kind]
+}
+
+// Error is a parse or compile error with source position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("smv: line %d:%d: %s", e.Line, e.Col, e.Msg)
+	}
+	return "smv: " + e.Msg
+}
+
+func errAt(t token, format string, args ...any) error {
+	return &Error{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+}
