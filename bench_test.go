@@ -7,9 +7,12 @@ package repro
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"os"
 	"testing"
+	"time"
 
 	"repro/internal/automata"
 	"repro/internal/bdd"
@@ -21,6 +24,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/kripke"
 	"repro/internal/mc"
+	"repro/internal/smv"
 )
 
 // --- E1: the Seitz arbiter case study ---------------------------------
@@ -400,16 +404,18 @@ func BenchmarkPartitionedVsMonolithic(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(fmt.Sprintf("partitioned/k=%d", k), func(b *testing.B) {
+			model.EnablePartition(true)
 			for i := 0; i < b.N; i++ {
 				model.Reachable()
 			}
 		})
-		model.SetClusters(nil)
 		b.Run(fmt.Sprintf("monolithic/k=%d", k), func(b *testing.B) {
+			model.EnablePartition(false)
 			for i := 0; i < b.N; i++ {
 				model.Reachable()
 			}
 		})
+		model.EnablePartition(true)
 	}
 }
 
@@ -484,5 +490,259 @@ func BenchmarkReorder(b *testing.B) {
 			order[2*v+1] = v + 6
 		}
 		m.Reorder(order, []bdd.Ref{f})
+	}
+}
+
+// --- BENCH_partition.json: the partitioning before/after artifact -----
+//
+// TestRecordPartitionBench is gated behind BENCH_PARTITION=1 (it runs
+// minutes of wall time) and writes BENCH_partition.json: for the Seitz
+// arbiter and the scaled-arbiter family it records wall time, peak live
+// BDD nodes, relational-product counters and AndExists cache behavior
+// for the partitioned and the monolithic transition relation. At 6 and
+// 8 cells the monolithic BDD cannot even be materialized within the
+// node budget — those entries record the capped build attempt, which is
+// the paper's point: the conjunction is the object partitioning avoids.
+
+type partitionBenchEntry struct {
+	Model            string  `json:"model"`
+	Cells            int     `json:"cells"`
+	Mode             string  `json:"mode"`
+	Workload         string  `json:"workload"`
+	Completed        bool    `json:"completed"`
+	WallMS           float64 `json:"wall_ms"`
+	PeakLiveNodes    int     `json:"peak_live_nodes"`
+	ImageCalls       uint64  `json:"image_calls,omitempty"`
+	PreimageCalls    uint64  `json:"preimage_calls,omitempty"`
+	ClusterSteps     uint64  `json:"cluster_steps,omitempty"`
+	AndExistsLookups uint64  `json:"and_exists_lookups,omitempty"`
+	AndExistsHits    uint64  `json:"and_exists_hits,omitempty"`
+	Clusters         int     `json:"clusters,omitempty"`
+	SumClusterNodes  int     `json:"sum_cluster_nodes,omitempty"`
+	TransNodes       int     `json:"trans_nodes,omitempty"`
+	ReachableStates  float64 `json:"reachable_states,omitempty"`
+	Note             string  `json:"note,omitempty"`
+}
+
+// benchModel compiles a fresh instance so cache and node-table state
+// never leaks between measured modes.
+type benchModel struct {
+	name    string
+	cells   int
+	compile func() (*kripke.Symbolic, error)
+}
+
+func partitionBenchModels() []benchModel {
+	models := []benchModel{{
+		name:  "seitz.smv",
+		cells: 2,
+		compile: func() (*kripke.Symbolic, error) {
+			src, err := os.ReadFile("models/seitz.smv")
+			if err != nil {
+				return nil, err
+			}
+			c, err := smv.CompileSource(string(src))
+			if err != nil {
+				return nil, err
+			}
+			return c.S, nil
+		},
+	}}
+	for _, k := range []int{2, 3, 4} {
+		k := k
+		models = append(models, benchModel{
+			name:    fmt.Sprintf("scaled-arbiter-k%d", k),
+			cells:   2 * k,
+			compile: func() (*kripke.Symbolic, error) { return circuit.ScaledArbiter(k).Compile() },
+		})
+	}
+	return models
+}
+
+func TestRecordPartitionBench(t *testing.T) {
+	if os.Getenv("BENCH_PARTITION") != "1" {
+		t.Skip("set BENCH_PARTITION=1 to record BENCH_partition.json")
+	}
+	const (
+		gcThreshold  = 1 << 16    // tight threshold: peaks reflect live sets
+		nodeBudget   = 6_000_000  // cap for the monolithic build attempt
+		buildTimeout = 30 * time.Second
+		boundedSteps = 10 // BFS steps at sizes where the full fixpoint blows up
+	)
+	var entries []partitionBenchEntry
+
+	baseEntry := func(bm benchModel, s *kripke.Symbolic, mode, workload string, wall time.Duration, ae0 bdd.Stats) partitionBenchEntry {
+		rs := s.RelStats()
+		p := s.Partition()
+		e := partitionBenchEntry{
+			Model:            bm.name,
+			Cells:            bm.cells,
+			Mode:             mode,
+			Workload:         workload,
+			Completed:        true,
+			WallMS:           float64(wall.Microseconds()) / 1000,
+			PeakLiveNodes:    rs.PeakLiveNodes,
+			ImageCalls:       rs.ImageCalls,
+			PreimageCalls:    rs.PreimageCalls,
+			ClusterSteps:     rs.ClusterSteps,
+			AndExistsLookups: s.M.Stats.AndExistsLookups - ae0.AndExistsLookups,
+			AndExistsHits:    s.M.Stats.AndExistsHits - ae0.AndExistsHits,
+		}
+		if p != nil {
+			e.Clusters = p.NumClusters()
+			for _, c := range p.Clusters() {
+				e.SumClusterNodes += s.M.Size(c)
+			}
+		}
+		return e
+	}
+
+	// fullWorkload: the complete reachability fixpoint followed by a
+	// short backward EX sweep, exercising both quantification schedules.
+	fullWorkload := func(bm benchModel, s *kripke.Symbolic, mode string) partitionBenchEntry {
+		s.M.GC()
+		s.ResetRelStats()
+		ae0 := s.M.Stats
+		t0 := time.Now()
+		reach, _ := s.Reachable()
+		pre := reach
+		for i := 0; i < 3; i++ {
+			pre = s.Preimage(pre)
+		}
+		e := baseEntry(bm, s, mode, "reachable+ex3", time.Since(t0), ae0)
+		e.ReachableStates = s.CountStates(reach)
+		return e
+	}
+
+	// boundedWorkload: a fixed number of frontier steps for sizes where
+	// the full reachable set is itself out of reach.
+	boundedWorkload := func(bm benchModel, s *kripke.Symbolic, mode string) partitionBenchEntry {
+		m := s.M
+		m.GC()
+		s.ResetRelStats()
+		ae0 := m.Stats
+		t0 := time.Now()
+		reached := m.Protect(s.Init)
+		frontier := m.Protect(s.Init)
+		for i := 0; i < boundedSteps && frontier != bdd.False; i++ {
+			img := s.Image(frontier)
+			m.Unprotect(frontier)
+			frontier = m.Protect(m.Diff(img, reached))
+			m.Unprotect(reached)
+			reached = m.Protect(m.Or(reached, frontier))
+			m.MaybeGC()
+		}
+		e := baseEntry(bm, s, mode, fmt.Sprintf("bfs-%d", boundedSteps), time.Since(t0), ae0)
+		m.Unprotect(frontier)
+		m.Unprotect(reached)
+		return e
+	}
+
+	// cappedMonolithicBuild: try to materialize the monolithic relation
+	// under a node and time budget, recording where it gives out.
+	cappedMonolithicBuild := func(bm benchModel, s *kripke.Symbolic) partitionBenchEntry {
+		m := s.M
+		p := s.Partition()
+		t0 := time.Now()
+		acc := m.Protect(bdd.True)
+		for i, c := range p.Clusters() {
+			next := m.Protect(m.And(acc, c))
+			m.Unprotect(acc)
+			acc = next
+			if m.NumNodes() > nodeBudget || time.Since(t0) > buildTimeout {
+				e := partitionBenchEntry{
+					Model:         bm.name,
+					Cells:         bm.cells,
+					Mode:          "monolithic",
+					Workload:      "trans-materialization",
+					Completed:     false,
+					WallMS:        float64(time.Since(t0).Microseconds()) / 1000,
+					PeakLiveNodes: m.NumNodes(),
+					Clusters:      p.NumClusters(),
+					Note: fmt.Sprintf(
+						"monolithic Trans BDD aborted at cluster %d/%d: node budget %d exceeded; partial conjunction already %d nodes",
+						i+1, p.NumClusters(), nodeBudget, m.Size(acc)),
+				}
+				m.Unprotect(acc)
+				return e
+			}
+		}
+		e := partitionBenchEntry{
+			Model: bm.name, Cells: bm.cells, Mode: "monolithic",
+			Workload: "trans-materialization", Completed: true,
+			WallMS:        float64(time.Since(t0).Microseconds()) / 1000,
+			PeakLiveNodes: m.NumNodes(),
+			TransNodes:    m.Size(acc),
+		}
+		m.Unprotect(acc)
+		return e
+	}
+
+	for _, bm := range partitionBenchModels() {
+		// Partitioned run.
+		s, err := bm.compile()
+		if err != nil {
+			t.Fatalf("%s: %v", bm.name, err)
+		}
+		s.M.SetGCThreshold(gcThreshold)
+		bounded := bm.cells >= 6
+		if bounded {
+			entries = append(entries, boundedWorkload(bm, s, "partitioned"))
+		} else {
+			entries = append(entries, fullWorkload(bm, s, "partitioned"))
+		}
+
+		// Monolithic run, on a fresh instance.
+		s, err = bm.compile()
+		if err != nil {
+			t.Fatalf("%s: %v", bm.name, err)
+		}
+		s.M.SetGCThreshold(gcThreshold)
+		if bounded {
+			// The full monolithic relation does not fit the node budget
+			// at these sizes; record the capped build attempt.
+			entries = append(entries, cappedMonolithicBuild(bm, s))
+			continue
+		}
+		s.EnablePartition(false)
+		buildStart := time.Now()
+		transNodes := s.M.Size(s.Trans()) // materialization is part of the story
+		buildMS := float64(time.Since(buildStart).Microseconds()) / 1000
+		e := fullWorkload(bm, s, "monolithic")
+		e.TransNodes = transNodes
+		e.Note = fmt.Sprintf("monolithic Trans materialized in %.1fms", buildMS)
+		entries = append(entries, e)
+	}
+
+	out, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_partition.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_partition.json with %d entries", len(entries))
+
+	// The artifact must actually demonstrate the claim: at >= 8 cells the
+	// partitioned run completes while the monolithic attempt exhausts its
+	// node budget, and at sizes where both complete the partitioned run
+	// is faster with a lower peak.
+	byKey := map[string]partitionBenchEntry{}
+	for _, e := range entries {
+		byKey[e.Model+"/"+e.Mode] = e
+	}
+	part8 := byKey["scaled-arbiter-k4/partitioned"]
+	mono8 := byKey["scaled-arbiter-k4/monolithic"]
+	if !part8.Completed || mono8.Completed {
+		t.Fatalf("8-cell separation not demonstrated: partitioned=%+v monolithic=%+v", part8, mono8)
+	}
+	if part8.PeakLiveNodes >= mono8.PeakLiveNodes {
+		t.Fatalf("8 cells: partitioned peak %d not below monolithic peak %d",
+			part8.PeakLiveNodes, mono8.PeakLiveNodes)
+	}
+	part4, mono4 := byKey["scaled-arbiter-k2/partitioned"], byKey["scaled-arbiter-k2/monolithic"]
+	if part4.WallMS >= mono4.WallMS || part4.PeakLiveNodes >= mono4.PeakLiveNodes {
+		t.Fatalf("4 cells: partitioned (%.1fms, %d nodes) not below monolithic (%.1fms, %d nodes)",
+			part4.WallMS, part4.PeakLiveNodes, mono4.WallMS, mono4.PeakLiveNodes)
 	}
 }

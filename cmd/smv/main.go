@@ -58,6 +58,16 @@ func main() {
 		fatal(err)
 	}
 
+	// CTL semantics assume a total transition relation; warn when the
+	// model has deadlocked states so vacuous EG/EX verdicts on them are
+	// not mistaken for real ones.
+	if dead := compiled.S.DeadlockStates(); dead != bdd.False {
+		ex := compiled.S.PickState(dead)
+		fmt.Fprintf(os.Stderr,
+			"warning: model has %.0f deadlock state(s) with no successor, e.g. [%s]\n",
+			compiled.S.CountStates(dead), compiled.FormatStateByVars(ex))
+	}
+
 	if *reachable {
 		reach, iters := compiled.S.Reachable()
 		fmt.Printf("reachable states: %.0f (in %d frontier iterations)\n\n",
@@ -131,8 +141,14 @@ func main() {
 		fmt.Printf("EG fixpoints:       %d (%d iterations, %d fair outer)\n",
 			checker.Stats.EGFixpoints, checker.Stats.EGIterations, checker.Stats.FairEGOuter)
 		fmt.Printf("peak BDD nodes:     %d\n", checker.Stats.PeakNodes)
-		fmt.Printf("witness ring steps: %d (restarts %d)\n",
-			gen.Stats.RingSteps, gen.Stats.Restarts)
+		rel := compiled.S.RelStats()
+		fmt.Printf("transition clusters: %d (preimages %d, images %d, cluster steps %d, peak %d nodes in chains)\n",
+			compiled.S.NumClusters(), rel.PreimageCalls, rel.ImageCalls, rel.ClusterSteps, rel.PeakLiveNodes)
+		fmt.Printf("checker preimages:  %d (%d cluster steps, AndExists cache hits %d / lookups %d)\n",
+			checker.Stats.PreimageCalls, checker.Stats.ClusterSteps,
+			checker.Stats.AndExistsHits, checker.Stats.AndExistsLookups)
+		fmt.Printf("witness ring steps: %d (restarts %d, %d single-state images)\n",
+			gen.Stats.RingSteps, gen.Stats.Restarts, gen.Stats.ImageCalls)
 	}
 	os.Exit(exitCode)
 }

@@ -91,6 +91,13 @@ type Stats struct {
 	GCRuns       uint64
 	NodesFreed   uint64
 	Reorderings  uint64
+
+	// Relational-product counters: top-level AndExists calls and the
+	// dedicated triple-cache traffic of its recursion. Hit rate here is
+	// the observability signal for partitioned image computation.
+	AndExistsCalls   uint64
+	AndExistsLookups uint64
+	AndExistsHits    uint64
 }
 
 type iteEntry struct {

@@ -167,6 +167,7 @@ func (m *Manager) AndExists(f, g, cube Ref) Ref {
 	m.checkRef(f)
 	m.checkRef(g)
 	m.checkRef(cube)
+	m.Stats.AndExistsCalls++
 	if m.aex == nil {
 		m.aex = make([]aexEntry, iteCacheSize)
 	}
@@ -211,8 +212,10 @@ func (m *Manager) andExists(f, g, cube Ref) Ref {
 	}
 
 	slot := cacheIndex(uint32(f), uint32(g), uint32(cube), 0xae, iteCacheSize)
+	m.Stats.AndExistsLookups++
 	if e := &m.aex[slot]; e.valid && e.f == f && e.g == g && e.cube == cube {
 		m.Stats.CacheHits++
+		m.Stats.AndExistsHits++
 		return e.res
 	}
 

@@ -36,6 +36,7 @@ type GenStats struct {
 	ClosureAttempts uint64 // cycle-closure checks
 	RingSteps       uint64 // states appended by ring walks
 	EarlyExits      uint64 // precompute-strategy early restarts
+	ImageCalls      uint64 // single-state successor images taken
 }
 
 // Generator produces witnesses and counterexamples over a checker's
@@ -62,11 +63,20 @@ func NewGenerator(c *mc.Checker) *Generator {
 // that does not satisfy the formula.
 var ErrNotSatisfied = errors.New("core: state does not satisfy the formula")
 
+// image returns the successor set of a single concrete state. All of
+// witness construction's successor computations funnel through here so
+// they take the same (possibly partitioned) image path as the fixpoint
+// engine and the traces stay consistent with the sets they walk.
+func (g *Generator) image(st kripke.State) bdd.Ref {
+	g.Stats.ImageCalls++
+	s := g.C.S
+	return s.Image(s.StateCube(st))
+}
+
 // succIn returns one successor of st inside set, or nil.
 func (g *Generator) succIn(st kripke.State, set bdd.Ref) kripke.State {
 	s := g.C.S
-	img := s.Image(s.StateCube(st))
-	return s.PickState(s.M.And(img, set))
+	return s.PickState(s.M.And(g.image(st), set))
 }
 
 // WitnessEG constructs a fair lasso witness for EG f starting at from:
@@ -119,7 +129,7 @@ func (g *Generator) witnessEGRings(egf bdd.Ref, rings *mc.Rings, from kripke.Sta
 		for left > 0 && !aborted {
 			// Find the nearest remaining constraint: smallest ring index
 			// i such that some successor of cur lies in Q^h_i.
-			succs := s.Image(s.StateCube(cur))
+			succs := g.image(cur)
 			var bestH, bestI int
 			var bestState kripke.State
 			found := false
@@ -194,7 +204,7 @@ func (g *Generator) witnessEGRings(egf bdd.Ref, rings *mc.Rings, from kripke.Sta
 			sPrime := tr.States[len(tr.States)-1]
 			headCube := s.StateCube(cycleHead)
 			euSet, euRings := g.C.EUApprox(f, headCube)
-			succs := s.Image(s.StateCube(sPrime))
+			succs := g.image(sPrime)
 			if m.And(succs, euSet) != bdd.False {
 				// pick the successor in the smallest ring, then descend.
 				var u kripke.State

@@ -1,0 +1,62 @@
+package ctl
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzCTLParse asserts the parser's safety contract: it never panics on
+// arbitrary input, and for every input it accepts, printing and
+// reparsing is stable — Parse(f.String()).String() == f.String(), so the
+// printed form is a fixed point of the parse→print cycle (witness and
+// checker memo keys rely on that stability).
+func FuzzCTLParse(f *testing.F) {
+	seeds := []string{
+		"AG (tr1 -> AF ta1)",
+		"E [p U q] & !EG r",
+		"A [ x U EF (y | !z) ]",
+		"EX (a = 1) | AG (b != off)",
+		"!(p <-> q) -> A [ true U false ]",
+		"EF (p & EX q)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	// Seed with the SPEC lines of the shipped models.
+	matches, _ := filepath.Glob(filepath.Join("..", "..", "models", "*.smv"))
+	for _, path := range matches {
+		file, err := os.Open(path)
+		if err != nil {
+			continue
+		}
+		sc := bufio.NewScanner(file)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if rest, ok := strings.CutPrefix(line, "SPEC"); ok {
+				f.Add(strings.TrimSpace(rest))
+			}
+		}
+		file.Close()
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			t.Skip("oversized input")
+		}
+		formula, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		printed := formula.String()
+		reparsed, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its own print %q: %v", src, printed, err)
+		}
+		if again := reparsed.String(); again != printed {
+			t.Fatalf("print not a parse fixed point: %q -> %q -> %q", src, printed, again)
+		}
+	})
+}

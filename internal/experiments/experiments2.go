@@ -451,17 +451,18 @@ func E11PartitionedTrans() *Report {
 			r.Err = fmt.Errorf("expected clusters on the compiled circuit")
 			return r
 		}
-		transNodes := model.M.Size(model.Trans)
+		transNodes := model.M.Size(model.Trans())
 		nclusters := model.NumClusters()
 
 		t0 := time.Now()
 		reachPart, _ := model.Reachable()
 		partTime := time.Since(t0)
 
-		model.SetClusters(nil)
+		model.EnablePartition(false)
 		t0 = time.Now()
 		reachMono, _ := model.Reachable()
 		monoTime := time.Since(t0)
+		model.EnablePartition(true)
 
 		if reachPart != reachMono {
 			r.Err = fmt.Errorf("k=%d: partitioned and monolithic reachability disagree", k)

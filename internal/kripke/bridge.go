@@ -51,7 +51,7 @@ func FromExplicit(e *Explicit) *Symbolic {
 	for _, s := range e.Init {
 		init = m.Or(init, stateCube(s, false))
 	}
-	b.S.Trans = trans
+	b.S.SetTrans(trans)
 	b.S.Init = init
 
 	// valid-state invariant (indices < N)

@@ -61,8 +61,9 @@ func (b *Builder) ConstrainInit(f bdd.Ref) {
 }
 
 // ConstrainTrans conjoins a constraint into the transition relation.
+// The conjunct is collected as a partition cluster; Finish decides
+// whether the monolithic conjunction is built eagerly or deferred.
 func (b *Builder) ConstrainTrans(f bdd.Ref) {
-	b.S.Trans = b.S.M.And(b.S.Trans, f)
 	b.clusters = append(b.clusters, f)
 }
 
@@ -111,29 +112,37 @@ func (b *Builder) Invariant(f bdd.Ref) {
 
 // Finish protects the structure's BDDs, installs the conjunctive
 // transition partition collected from ConstrainTrans calls, and returns
-// the structure. The builder must not be used afterwards.
+// the structure. When a partition is installed the monolithic relation
+// stays unmaterialized (Symbolic.Trans builds it on first demand) —
+// on large models the conjunction can be exponentially bigger than any
+// cluster, and the partitioned image computation never touches it. The
+// builder must not be used afterwards.
 func (b *Builder) Finish() *Symbolic {
 	m := b.S.M
-	m.Protect(b.S.Trans)
-	m.Protect(b.S.Init)
-	m.Protect(b.S.Invar)
 	if !b.DisablePartition && len(b.clusters) > 1 {
 		b.S.SetClusters(b.clusters)
+	} else {
+		rel := b.S.Trans() // explicitly installed relation, or True
+		for _, c := range b.clusters {
+			rel = m.And(rel, c)
+		}
+		b.S.SetTrans(rel)
 	}
+	m.Protect(b.S.Init)
+	m.Protect(b.S.Invar)
 	return b.S
 }
 
 // IsTotal reports whether every state (satisfying the invariant) has at
 // least one successor. CTL semantics assume a total transition relation;
 // models violating this produce vacuous EG/EX results on deadlocked
-// states.
+// states. The underlying ∃v′.Trans is computed once and shared with
+// DeadlockStates.
 func (s *Symbolic) IsTotal() bool {
-	hasSucc := s.M.Exists(s.Trans, s.nextCube)
-	return s.M.Implies(s.Invar, hasSucc)
+	return s.M.Implies(s.Invar, s.hasSuccessors())
 }
 
 // DeadlockStates returns the states with no successor.
 func (s *Symbolic) DeadlockStates() bdd.Ref {
-	hasSucc := s.M.Exists(s.Trans, s.nextCube)
-	return s.M.And(s.Invar, s.M.Not(hasSucc))
+	return s.M.And(s.Invar, s.M.Not(s.hasSuccessors()))
 }

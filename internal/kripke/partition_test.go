@@ -59,11 +59,10 @@ func TestPartitionedImageEqualsMonolithic(t *testing.T) {
 		prePart := s.Preimage(set)
 
 		// compare against the monolithic path
-		part := s.part
-		s.part = nil
+		s.EnablePartition(false)
 		imgMono := s.Image(set)
 		preMono := s.Preimage(set)
-		s.part = part
+		s.EnablePartition(true)
 
 		if imgPart != imgMono {
 			t.Fatalf("trial %d: partitioned Image differs", trial)
@@ -86,13 +85,12 @@ func TestPartitionedWithFreeVariables(t *testing.T) {
 		t.Skip("partition not installed for single nontrivial cluster")
 	}
 	set := m.Var(s.Vars[0].Cur) // x = 1
-	part := s.part
 	pre1 := s.Preimage(set)
 	img1 := s.Image(set)
-	s.part = nil
+	s.EnablePartition(false)
 	pre2 := s.Preimage(set)
 	img2 := s.Image(set)
-	s.part = part
+	s.EnablePartition(true)
 	if pre1 != pre2 || img1 != img2 {
 		t.Fatal("free-variable quantification differs between paths")
 	}
@@ -106,6 +104,169 @@ func TestSetClustersRemoval(t *testing.T) {
 	s.SetClusters(nil)
 	if s.HasClusters() {
 		t.Fatal("clusters should be removed")
+	}
+}
+
+func TestAffinityMergeDropsTrivialAndSubsetClusters(t *testing.T) {
+	b := NewBuilder([]string{"x", "y", "z"})
+	m := b.S.M
+	b.NextFunc("x", m.And(b.Cur("y"), b.Cur("z")))
+	b.NextFunc("y", b.Cur("x"))
+	// Trivial conjunct and a duplicate: both must vanish in the merge.
+	b.ConstrainTrans(bdd.True)
+	dup := m.Eq(b.Next("y"), b.Cur("x"))
+	b.ConstrainTrans(dup)
+	// A cluster whose support is a subset of the x-assignment's support
+	// (mentions only cur y): folded into it, not scheduled separately.
+	b.ConstrainTrans(m.Or(b.Cur("y"), m.Not(b.Cur("y"))))
+	s := b.Finish()
+	if !s.HasClusters() {
+		t.Fatal("expected clusters")
+	}
+	if n := s.NumClusters(); n != 2 {
+		t.Fatalf("affinity merge should leave 2 clusters, got %d", n)
+	}
+}
+
+func TestScheduleCoversAllQuantificationVars(t *testing.T) {
+	s, _ := buildPartitionedCounter(5)
+	m := s.M
+	p := s.Partition()
+	if p == nil {
+		t.Fatal("no partition")
+	}
+	for _, dir := range []struct {
+		name  string
+		sched schedule
+		qvar  func(StateVar) int
+	}{
+		{"pre", p.pre, func(v StateVar) int { return v.Next }},
+		{"img", p.img, func(v StateVar) int { return v.Cur }},
+	} {
+		if len(dir.sched.order) != len(p.clusters) {
+			t.Fatalf("%s: order misses clusters", dir.name)
+		}
+		seen := map[int]bool{}
+		for _, ci := range dir.sched.order {
+			if seen[ci] {
+				t.Fatalf("%s: cluster %d scheduled twice", dir.name, ci)
+			}
+			seen[ci] = true
+		}
+		// Every quantification variable must appear in exactly one cube
+		// (or in free), and never before its last-use cluster.
+		quantified := map[int]int{} // var -> schedule position
+		for k, cube := range dir.sched.cubes {
+			for _, v := range m.CubeVars(cube) {
+				if old, dup := quantified[v]; dup {
+					t.Fatalf("%s: var %d quantified at %d and %d", dir.name, v, old, k)
+				}
+				quantified[v] = k
+			}
+		}
+		for _, v := range m.CubeVars(dir.sched.free) {
+			if _, dup := quantified[v]; dup {
+				t.Fatalf("%s: free var %d also in a cube", dir.name, v)
+			}
+			quantified[v] = -1
+		}
+		for _, sv := range s.Vars {
+			if _, ok := quantified[dir.qvar(sv)]; !ok {
+				t.Fatalf("%s: variable %s never quantified", dir.name, sv.Name)
+			}
+		}
+		// Soundness: a variable quantified at position k must not occur in
+		// any cluster scheduled after k.
+		for k, cube := range dir.sched.cubes {
+			for _, v := range m.CubeVars(cube) {
+				for later := k + 1; later < len(dir.sched.order); later++ {
+					for _, sv := range m.Support(p.clusters[dir.sched.order[later]]) {
+						if sv == v {
+							t.Fatalf("%s: var %d quantified at %d but used by cluster at %d", dir.name, v, k, later)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEnablePartitionToggle(t *testing.T) {
+	s, _ := buildPartitionedCounter(4)
+	if !s.PartitionEnabled() {
+		t.Fatal("partition should start enabled")
+	}
+	set := s.M.Var(s.Vars[0].Cur)
+	pre1 := s.Preimage(set)
+	s.EnablePartition(false)
+	if s.PartitionEnabled() {
+		t.Fatal("toggle off failed")
+	}
+	if !s.HasClusters() {
+		t.Fatal("toggle must not discard the partition")
+	}
+	pre2 := s.Preimage(set)
+	s.EnablePartition(true)
+	pre3 := s.Preimage(set)
+	if pre1 != pre2 || pre2 != pre3 {
+		t.Fatal("toggling the partition changed Preimage")
+	}
+}
+
+func TestRelStatsAccumulate(t *testing.T) {
+	s, _ := buildPartitionedCounter(4)
+	s.ResetRelStats()
+	s.Reachable()
+	rs := s.RelStats()
+	if rs.ImageCalls == 0 {
+		t.Fatal("image calls not counted")
+	}
+	if rs.ClusterSteps == 0 {
+		t.Fatal("cluster steps not counted on the partitioned path")
+	}
+	if rs.PeakLiveNodes == 0 {
+		t.Fatal("peak live nodes not sampled")
+	}
+	s.EnablePartition(false)
+	s.ResetRelStats()
+	s.Preimage(bdd.True)
+	rs = s.RelStats()
+	if rs.PreimageCalls != 1 || rs.ClusterSteps != 0 {
+		t.Fatalf("monolithic path stats wrong: %+v", rs)
+	}
+}
+
+func TestSharedDeadlockComputation(t *testing.T) {
+	// x flips forever, but from x=1 there is also an escape to a sink
+	// with no successors: next(x) has no feasible value when y=1.
+	b := NewBuilder([]string{"x", "y"})
+	m := b.S.M
+	b.InitValue("x", false)
+	b.InitValue("y", false)
+	// y latches once set nondeterministically; when y holds, no
+	// transition exists (deadlock): Trans ∧ y = false.
+	b.ConstrainTrans(m.Or(m.Eq(b.Next("x"), m.Not(b.Cur("x"))), b.Cur("y")))
+	b.ConstrainTrans(m.Not(b.Cur("y")))
+	s := b.Finish()
+	if s.IsTotal() {
+		t.Fatal("structure with y=1 deadlock must not be total")
+	}
+	dead := s.DeadlockStates()
+	if dead == bdd.False {
+		t.Fatal("deadlock states missing")
+	}
+	if !s.Holds(dead, State{false, true}) {
+		t.Fatal("state y=1 should be deadlocked")
+	}
+	if s.Holds(dead, State{false, false}) {
+		t.Fatal("state y=0 is live")
+	}
+	// The ∃v′.Trans computation is shared and cached.
+	rs0 := s.RelStats()
+	s.IsTotal()
+	s.DeadlockStates()
+	if s.RelStats().PreimageCalls != rs0.PreimageCalls {
+		t.Fatal("hasSuccessors must be cached after the first computation")
 	}
 }
 

@@ -32,8 +32,15 @@ type Symbolic struct {
 	M    *bdd.Manager
 	Vars []StateVar
 
-	Trans bdd.Ref // R(v, v′)
-	Init  bdd.Ref // S0(v)
+	Init bdd.Ref // S0(v)
+
+	// trans is the monolithic R(v, v′), materialized lazily through
+	// Trans() when the structure carries a conjunctive partition: on
+	// large models the conjunction of the clusters can be exponentially
+	// bigger than any factor, and the partitioned image computation
+	// never needs it.
+	trans      bdd.Ref
+	transValid bool
 
 	// Fair are the fairness-constraint state sets H = {h_1, ..., h_n}
 	// (Section 5); FairNames are their display names.
@@ -50,7 +57,13 @@ type Symbolic struct {
 	nextCube bdd.Ref
 	toNext   *bdd.Permutation
 	toCur    *bdd.Permutation
-	part     *partition // optional conjunctive transition partition
+
+	part     *Partition // optional conjunctive transition partition
+	partOff  bool       // EnablePartition(false): keep it but bypass it
+	relStats RelStats
+
+	hasSucc      bdd.Ref // cached ∃v′.Trans (IsTotal, DeadlockStates)
+	hasSuccValid bool
 }
 
 // NewSymbolic allocates a symbolic structure with the given state
@@ -59,12 +72,13 @@ type Symbolic struct {
 func NewSymbolic(names []string) *Symbolic {
 	m := bdd.New(2 * len(names))
 	s := &Symbolic{
-		M:       m,
-		Trans:   bdd.True,
-		Init:    bdd.True,
-		Invar:   bdd.True,
-		atoms:   map[string]bdd.Ref{},
-		eqAtoms: map[string]func(string) (bdd.Ref, error){},
+		M:          m,
+		trans:      bdd.True,
+		transValid: true,
+		Init:       bdd.True,
+		Invar:      bdd.True,
+		atoms:      map[string]bdd.Ref{},
+		eqAtoms:    map[string]func(string) (bdd.Ref, error){},
 	}
 	for i, n := range names {
 		s.Vars = append(s.Vars, StateVar{Name: n, Cur: 2 * i, Next: 2*i + 1})
@@ -200,25 +214,75 @@ func (s *Symbolic) AtomSet(f *ctl.Formula) (bdd.Ref, error) {
 	return bdd.False, fmt.Errorf("kripke: AtomSet on non-atomic formula %s", f)
 }
 
+// Trans returns the monolithic transition relation R(v, v′). When the
+// structure was built through a conjunctive partition the monolithic
+// BDD is not constructed up front — the partitioned image computation
+// never needs it, and on large models the conjunction blows up — so it
+// is materialized from the clusters on first demand and cached.
+func (s *Symbolic) Trans() bdd.Ref {
+	if !s.transValid {
+		m := s.M
+		acc := m.Protect(bdd.True)
+		if s.part != nil {
+			for _, c := range s.part.clusters {
+				next := m.Protect(m.And(acc, c))
+				m.Unprotect(acc)
+				acc = next
+				m.MaybeGC()
+			}
+		}
+		s.trans = acc
+		s.transValid = true
+	}
+	return s.trans
+}
+
+// SetTrans installs f as the monolithic transition relation and
+// protects it from garbage collection.
+func (s *Symbolic) SetTrans(f bdd.Ref) {
+	if s.transValid {
+		s.M.Unprotect(s.trans)
+	}
+	s.trans = s.M.Protect(f)
+	s.transValid = true
+}
+
 // Image returns the set of successors of the states in from:
 // { t | ∃s ∈ from : R(s,t) }, expressed over current variables. When a
 // conjunctive partition is installed (SetClusters) the relational
 // product is computed cluster by cluster with early quantification.
 func (s *Symbolic) Image(from bdd.Ref) bdd.Ref {
-	if s.part != nil {
+	s.relStats.ImageCalls++
+	if s.PartitionEnabled() {
 		return s.imagePart(from)
 	}
-	next := s.M.AndExists(from, s.Trans, s.curCube)
+	next := s.M.AndExists(from, s.Trans(), s.curCube)
+	s.noteLiveNodes()
 	return s.ToCur(next)
 }
 
 // Preimage returns EX to: the set of states with some successor in to.
 func (s *Symbolic) Preimage(to bdd.Ref) bdd.Ref {
-	if s.part != nil {
+	s.relStats.PreimageCalls++
+	if s.PartitionEnabled() {
 		return s.preimagePart(to)
 	}
 	next := s.ToNext(to)
-	return s.M.AndExists(s.Trans, next, s.nextCube)
+	res := s.M.AndExists(s.Trans(), next, s.nextCube)
+	s.noteLiveNodes()
+	return res
+}
+
+// hasSuccessors returns ∃v′.Trans — the states with at least one
+// successor — computed once (through the partitioned path when one is
+// installed, since Preimage(true) is exactly this set) and cached for
+// the structure's lifetime. Shared by IsTotal and DeadlockStates.
+func (s *Symbolic) hasSuccessors() bdd.Ref {
+	if !s.hasSuccValid {
+		s.hasSucc = s.M.Protect(s.Preimage(bdd.True))
+		s.hasSuccValid = true
+	}
+	return s.hasSucc
 }
 
 // Reachable computes the set of states reachable from Init by a
@@ -310,7 +374,18 @@ func (s *Symbolic) HasEdge(from, to State) bool {
 		env[v.Cur] = from[i]
 		env[v.Next] = to[i]
 	}
-	return s.M.Eval(s.Trans, env)
+	// With a partition installed, evaluate the clusters pointwise — an
+	// edge is in the relation iff every conjunct accepts it — so trace
+	// validation never forces the monolithic BDD into existence.
+	if s.part != nil && !s.transValid {
+		for _, c := range s.part.clusters {
+			if !s.M.Eval(c, env) {
+				return false
+			}
+		}
+		return true
+	}
+	return s.M.Eval(s.Trans(), env)
 }
 
 // Successors enumerates the concrete successors of st, up to limit

@@ -14,7 +14,11 @@ import (
 	"repro/internal/kripke"
 )
 
-// Stats counts fixpoint work for benchmarking.
+// Stats counts fixpoint work for benchmarking. The preimage block
+// observes the partitioned relational product: every EX routes through
+// kripke's Preimage, and the checker records how many cluster steps the
+// installed schedule took, the live-node peak reached inside those
+// chains, and the AndExists cache traffic its calls generated.
 type Stats struct {
 	EXCalls      uint64
 	EUFixpoints  uint64
@@ -23,6 +27,12 @@ type Stats struct {
 	EGIterations uint64
 	FairEGOuter  uint64
 	PeakNodes    int
+
+	PreimageCalls    uint64
+	ClusterSteps     uint64
+	PeakClusterNodes int
+	AndExistsLookups uint64
+	AndExistsHits    uint64
 }
 
 // Checker evaluates CTL formulas over a symbolic Kripke structure. When
@@ -83,7 +93,17 @@ func (c *Checker) note() {
 func (c *Checker) EX(f bdd.Ref) bdd.Ref {
 	c.Stats.EXCalls++
 	c.note()
+	rel0 := c.S.RelStats()
+	ae0 := c.S.M.Stats
 	pre := c.S.Preimage(f)
+	rel1 := c.S.RelStats()
+	c.Stats.PreimageCalls++
+	c.Stats.ClusterSteps += rel1.ClusterSteps - rel0.ClusterSteps
+	if rel1.PeakLiveNodes > c.Stats.PeakClusterNodes {
+		c.Stats.PeakClusterNodes = rel1.PeakLiveNodes
+	}
+	c.Stats.AndExistsLookups += c.S.M.Stats.AndExistsLookups - ae0.AndExistsLookups
+	c.Stats.AndExistsHits += c.S.M.Stats.AndExistsHits - ae0.AndExistsHits
 	if c.care != bdd.True {
 		pre = c.S.M.And(pre, c.care)
 	}

@@ -139,11 +139,21 @@ func Compile(m *Module) (*Compiled, error) {
 		return nil, err
 	}
 
-	// Assignments.
+	// Assignments. Each next-state assignment and each TRANS section
+	// contributes one cluster to the conjunctive partition: the
+	// per-assignment granularity is what lets SetClusters' affinity pass
+	// schedule early quantification (assignments mention exactly one
+	// next-state variable). The monolithic conjunction is never built
+	// here — Symbolic.Trans materializes it on demand; on large models
+	// it can be exponentially bigger than any cluster.
 	seen := map[string]bool{}
 	initRel := bdd.True
-	transRel := bdd.True
 	var transClusters []bdd.Ref
+	addCluster := func(rel bdd.Ref) {
+		if rel != bdd.True {
+			transClusters = append(transClusters, rel)
+		}
+	}
 	for _, a := range m.Assigns {
 		info := c.Vars[a.Var]
 		if info == nil {
@@ -165,8 +175,7 @@ func Compile(m *Module) (*Compiled, error) {
 		if a.Kind == AssignInit {
 			initRel = mgr.And(initRel, rel)
 		} else {
-			transRel = mgr.And(transRel, rel)
-			transClusters = append(transClusters, rel)
+			addCluster(rel)
 		}
 	}
 
@@ -183,8 +192,7 @@ func Compile(m *Module) (*Compiled, error) {
 		if err != nil {
 			return nil, err
 		}
-		transRel = mgr.And(transRel, b)
-		transClusters = append(transClusters, b)
+		addCluster(b)
 	}
 	invar := valid
 	for _, e := range m.Invars {
@@ -196,16 +204,23 @@ func Compile(m *Module) (*Compiled, error) {
 	}
 
 	c.S.Init = mgr.And(initRel, invar)
-	c.S.Trans = mgr.AndN(transRel, invar, c.S.ToNext(invar))
 	c.S.Invar = invar
 	mgr.Protect(c.S.Init)
-	mgr.Protect(c.S.Trans)
 	mgr.Protect(c.S.Invar)
 	if invar != bdd.True {
-		transClusters = append(transClusters, invar, c.S.ToNext(invar))
+		addCluster(invar)
+		addCluster(c.S.ToNext(invar))
 	}
 	if len(transClusters) > 1 {
+		// SetClusters leaves the monolithic relation deferred; the
+		// clusters' conjunction defines it.
 		c.S.SetClusters(transClusters)
+	} else {
+		rel := bdd.True
+		for _, cl := range transClusters {
+			rel = mgr.And(rel, cl)
+		}
+		c.S.SetTrans(rel)
 	}
 
 	for i, e := range m.Fairness {

@@ -1,0 +1,56 @@
+package smv
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzSMVLex asserts the lexer's safety contract on arbitrary input: it
+// never panics, and for every input it accepts, the token stream is
+// stable under re-lexing — joining the accepted tokens' texts with
+// spaces and lexing again yields the same kinds and texts (comments and
+// whitespace are the only things lexing may discard). The parser is
+// also driven over accepted inputs purely as a panic probe.
+func FuzzSMVLex(f *testing.F) {
+	matches, _ := filepath.Glob(filepath.Join("..", "..", "models", "*.smv"))
+	for _, path := range matches {
+		if data, err := os.ReadFile(path); err == nil {
+			f.Add(string(data))
+		}
+	}
+	f.Add("MODULE main VAR x : boolean; ASSIGN init(x) := FALSE; next(x) := !x;")
+	f.Add("-- comment only\n")
+	f.Add("a <-> b .. 1..5 := != <= >=")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		toks, err := lex(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var b strings.Builder
+		for _, tk := range toks {
+			b.WriteString(tk.text)
+			b.WriteByte(' ')
+		}
+		again, err := lex(b.String())
+		if err != nil {
+			t.Fatalf("accepted source but rejected its own token join: %v", err)
+		}
+		if len(again) != len(toks) {
+			t.Fatalf("re-lex token count changed: %d -> %d", len(toks), len(again))
+		}
+		for i := range toks {
+			if toks[i].kind != again[i].kind || toks[i].text != again[i].text {
+				t.Fatalf("token %d changed under re-lex: %v/%q -> %v/%q",
+					i, toks[i].kind, toks[i].text, again[i].kind, again[i].text)
+			}
+		}
+		// The parser must not panic on any lexable input (errors are fine).
+		ParseModule(src) //nolint:errcheck
+	})
+}
