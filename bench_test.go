@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 	"testing"
 	"time"
 
@@ -564,8 +565,8 @@ func TestRecordPartitionBench(t *testing.T) {
 		t.Skip("set BENCH_PARTITION=1 to record BENCH_partition.json")
 	}
 	const (
-		gcThreshold  = 1 << 16    // tight threshold: peaks reflect live sets
-		nodeBudget   = 6_000_000  // cap for the monolithic build attempt
+		gcThreshold  = 1 << 16   // tight threshold: peaks reflect live sets
+		nodeBudget   = 6_000_000 // cap for the monolithic build attempt
 		buildTimeout = 30 * time.Second
 		boundedSteps = 10 // BFS steps at sizes where the full fixpoint blows up
 	)
@@ -744,5 +745,149 @@ func TestRecordPartitionBench(t *testing.T) {
 	if part4.WallMS >= mono4.WallMS || part4.PeakLiveNodes >= mono4.PeakLiveNodes {
 		t.Fatalf("4 cells: partitioned (%.1fms, %d nodes) not below monolithic (%.1fms, %d nodes)",
 			part4.WallMS, part4.PeakLiveNodes, mono4.WallMS, mono4.PeakLiveNodes)
+	}
+}
+
+// --- BENCH_reorder.json: the dynamic-reordering artifact --------------
+//
+// TestRecordReorderBench is gated behind BENCH_REORDER=1 and writes
+// BENCH_reorder.json: the scaled-arbiter family at 4..8 cells runs the
+// same bounded bfs-10 partitioned workload as the partition benchmark,
+// once with reordering off and once with growth-triggered sifting on,
+// recording wall time, peak live nodes and sift-event counts. The PR-1
+// partitioned baseline from BENCH_partition.json rides along in each
+// off entry so the artifact is self-contained.
+
+type reorderBenchEntry struct {
+	Model          string  `json:"model"`
+	Cells          int     `json:"cells"`
+	Reorder        bool    `json:"reorder"`
+	Workload       string  `json:"workload"`
+	WallMS         float64 `json:"wall_ms"`
+	PeakLiveNodes  int     `json:"peak_live_nodes"`
+	FinalLiveNodes int     `json:"final_live_nodes"`
+	SiftEvents     uint64  `json:"sift_events"`
+	SiftPasses     uint64  `json:"sift_passes,omitempty"`
+	SiftTrials     uint64  `json:"sift_trials,omitempty"`
+	ReorderMS      float64 `json:"reorder_ms,omitempty"`
+	NodesSaved     int64   `json:"nodes_saved,omitempty"`
+	BaselinePeak   int     `json:"pr1_baseline_peak,omitempty"`
+	Note           string  `json:"note,omitempty"`
+}
+
+func TestRecordReorderBench(t *testing.T) {
+	if os.Getenv("BENCH_REORDER") != "1" {
+		t.Skip("set BENCH_REORDER=1 to record BENCH_reorder.json")
+	}
+	const (
+		gcThreshold  = 1 << 16 // same as the partition benchmark
+		boundedSteps = 10
+	)
+
+	// PR-1 partitioned bfs-10 peaks from BENCH_partition.json, keyed by
+	// model name, for side-by-side comparison in the artifact.
+	baseline := map[string]int{}
+	if raw, err := os.ReadFile("BENCH_partition.json"); err == nil {
+		var prev []partitionBenchEntry
+		if err := json.Unmarshal(raw, &prev); err == nil {
+			for _, e := range prev {
+				if e.Mode == "partitioned" && strings.HasPrefix(e.Workload, "bfs-") {
+					baseline[e.Model] = e.PeakLiveNodes
+				}
+			}
+		}
+	}
+
+	run := func(bm benchModel, reorder bool) reorderBenchEntry {
+		s, err := bm.compile()
+		if err != nil {
+			t.Fatalf("%s: %v", bm.name, err)
+		}
+		m := s.M
+		m.SetGCThreshold(gcThreshold)
+		if reorder {
+			m.EnableAutoReorder(nil)
+		}
+		m.GC()
+		s.ResetRelStats()
+		t0 := time.Now()
+		reached := m.Protect(s.Init)
+		frontier := m.Protect(s.Init)
+		// Protection keeps the sets alive across sift events, but the
+		// locals must also be rewritten in place when a reorder fires
+		// inside Image — that is exactly what the registry is for.
+		id := m.RegisterRefs(&reached, &frontier)
+		for i := 0; i < boundedSteps && frontier != bdd.False; i++ {
+			img := s.Image(frontier)
+			m.Unprotect(frontier)
+			frontier = m.Protect(m.Diff(img, reached))
+			m.Unprotect(reached)
+			reached = m.Protect(m.Or(reached, frontier))
+			m.MaybeGC()
+		}
+		wall := time.Since(t0)
+		m.Unregister(id)
+		m.Unprotect(frontier)
+		m.Unprotect(reached)
+		rs := s.RelStats()
+		e := reorderBenchEntry{
+			Model:          bm.name,
+			Cells:          bm.cells,
+			Reorder:        reorder,
+			Workload:       fmt.Sprintf("bfs-%d", boundedSteps),
+			WallMS:         float64(wall.Microseconds()) / 1000,
+			PeakLiveNodes:  rs.PeakLiveNodes,
+			FinalLiveNodes: m.NumNodes(),
+			SiftEvents:     m.Stats.AutoReorders,
+			SiftPasses:     m.Stats.SiftPasses,
+			SiftTrials:     m.Stats.SiftTrials,
+			ReorderMS:      float64(m.Stats.ReorderTime.Microseconds()) / 1000,
+			NodesSaved:     m.Stats.ReorderSavedNodes,
+		}
+		if !reorder {
+			e.BaselinePeak = baseline[bm.name]
+		}
+		return e
+	}
+
+	var entries []reorderBenchEntry
+	for _, k := range []int{2, 3, 4} {
+		bm := benchModel{
+			name:    fmt.Sprintf("scaled-arbiter-k%d", k),
+			cells:   2 * k,
+			compile: func() (*kripke.Symbolic, error) { return circuit.ScaledArbiter(k).Compile() },
+		}
+		off := run(bm, false)
+		on := run(bm, true)
+		entries = append(entries, off, on)
+		t.Logf("%s: peak %d -> %d (%d sift events, %.1fms reordering)",
+			bm.name, off.PeakLiveNodes, on.PeakLiveNodes, on.SiftEvents, on.ReorderMS)
+	}
+
+	out, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_reorder.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Acceptance: at 8 cells the reordered run must finish the bounded
+	// sweep with a lower peak than the PR-1 partitioned baseline.
+	const pr1Peak = 1_403_708
+	want := pr1Peak
+	if b, ok := baseline["scaled-arbiter-k4"]; ok {
+		want = b
+	}
+	for _, e := range entries {
+		if e.Model == "scaled-arbiter-k4" && e.Reorder {
+			if e.SiftEvents == 0 {
+				t.Errorf("8 cells: reordering enabled but no sift event fired")
+			}
+			if e.PeakLiveNodes >= want {
+				t.Errorf("8 cells: reordered peak %d not below PR-1 baseline %d",
+					e.PeakLiveNodes, want)
+			}
+		}
 	}
 }

@@ -6,11 +6,12 @@
 // Usage:
 //
 //	smv [-stats] [-delta] [-reachable] [-witness] [-compact] [-tree]
-//	    [-simulate N -seed S] model.smv
+//	    [-reorder] [-simulate N -seed S] model.smv
 //
 // Flags:
 //
 //	-stats      print BDD and fixpoint statistics after checking
+//	-reorder    enable dynamic variable reordering (growth-triggered sifting)
 //	-delta      print traces showing only changed variables per state
 //	-reachable  report the number of reachable states first
 //	-witness    for specs that hold and are existential, print a witness
@@ -42,6 +43,7 @@ func main() {
 	tree := flag.Bool("tree", false, "print counterexamples as explanation trees")
 	simulate := flag.Int("simulate", 0, "print a random execution of N steps instead of checking")
 	seed := flag.Int64("seed", 1, "random seed for -simulate")
+	reorder := flag.Bool("reorder", false, "enable dynamic variable reordering")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -56,6 +58,9 @@ func main() {
 	compiled, err := smv.CompileSource(string(src))
 	if err != nil {
 		fatal(err)
+	}
+	if *reorder {
+		compiled.S.M.EnableAutoReorder(nil)
 	}
 
 	// CTL semantics assume a total transition relation; warn when the
@@ -149,6 +154,12 @@ func main() {
 			checker.Stats.AndExistsHits, checker.Stats.AndExistsLookups)
 		fmt.Printf("witness ring steps: %d (restarts %d, %d single-state images)\n",
 			gen.Stats.RingSteps, gen.Stats.Restarts, gen.Stats.ImageCalls)
+		fmt.Printf("dynamic reordering: %d sift events (%d passes, %d trials, %d aborted), "+
+			"%d nodes saved, %v total\n",
+			m.Stats.AutoReorders, m.Stats.SiftPasses, m.Stats.SiftTrials, m.Stats.SiftAborts,
+			m.Stats.ReorderSavedNodes, m.Stats.ReorderTime)
+		fmt.Printf("checker reorders:   %d (%v during fixpoints)\n",
+			checker.Stats.Reorders, checker.Stats.ReorderTime)
 	}
 	os.Exit(exitCode)
 }

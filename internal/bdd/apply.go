@@ -38,7 +38,7 @@ func (m *Manager) ite3(f, g, h Ref) Ref {
 	}
 
 	m.Stats.CacheLookups++
-	slot := cacheIndex(uint32(f), uint32(g), uint32(h), 0x17e, iteCacheSize)
+	slot := cacheIndex(uint32(f), uint32(g), uint32(h), 0x17e, uint32(len(m.ite)))
 	if e := &m.ite[slot]; e.valid && e.f == f && e.g == g && e.h == h {
 		m.Stats.CacheHits++
 		return e.res

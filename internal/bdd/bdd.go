@@ -20,6 +20,7 @@ package bdd
 import (
 	"fmt"
 	"math/bits"
+	"time"
 )
 
 // Ref is a handle to a BDD node within a particular Manager. The zero
@@ -77,6 +78,21 @@ type Manager struct {
 
 	roots map[Ref]int // protected external references
 
+	// Live-root registry (see reorder.go): every registered rewriter is
+	// invoked after a reorder to translate the Refs its owner holds, and
+	// its refs are treated as GC roots.
+	rewriters  []rewriter
+	nextHookID int
+
+	groups [][]int // variable blocks that sift as one unit (GroupVars)
+
+	// Automatic dynamic-reordering state (see reorder.go).
+	reorderOpts  ReorderOptions
+	autoReorder  bool
+	reorderPause int  // PauseAutoReorder nesting depth
+	reordering   bool // true while a sift is running (reentrancy guard)
+	lastSiftSize int  // live nodes after the most recent sift
+
 	gcThreshold int // run GC opportunistically above this many live nodes
 
 	// Stats accumulates counters since the Manager was created.
@@ -98,6 +114,18 @@ type Stats struct {
 	AndExistsCalls   uint64
 	AndExistsLookups uint64
 	AndExistsHits    uint64
+
+	// Dynamic-reordering counters (see reorder.go). Reorderings counts
+	// every committed arena rebuild (including sift trials); AutoReorders
+	// counts growth-triggered sift events. ReorderSavedNodes sums the
+	// live-node reduction over all sifts and ReorderTime the wall time
+	// spent sifting.
+	AutoReorders      uint64
+	SiftPasses        uint64
+	SiftTrials        uint64
+	SiftAborts        uint64
+	ReorderSavedNodes int64
+	ReorderTime       time.Duration
 }
 
 type iteEntry struct {
@@ -133,6 +161,7 @@ func New(numVars int) *Manager {
 		binop:       make([]binEntry, binCacheSize),
 		roots:       make(map[Ref]int),
 		gcThreshold: 1 << 20,
+		reorderOpts: DefaultReorderOptions(),
 	}
 	m.nodes = make([]node, 2, 1024)
 	m.nodes[0] = node{lvl: terminalLevel, low: False, high: False}

@@ -1,18 +1,26 @@
 package bdd
 
 // Mark-and-sweep garbage collection. Live nodes are those reachable from
-// the protected roots (see Protect). Collection never moves nodes, so
-// protected Refs stay valid; all *unprotected* Refs obtained before a
-// collection must be considered invalid afterwards. The operation caches
-// are cleared because they may mention freed nodes.
+// the protected roots (see Protect) or from a registered rewriter's refs
+// (see OnReorder/RegisterRefs). Collection never moves nodes, so
+// protected and registered Refs stay valid; all other Refs obtained
+// before a collection must be considered invalid afterwards. The
+// operation caches are cleared because they may mention freed nodes.
 
-// GC collects every node unreachable from the protected roots and
-// returns the number of nodes freed.
+// GC collects every node unreachable from the protected and registered
+// roots and returns the number of nodes freed.
 func (m *Manager) GC() int {
 	m.Stats.GCRuns++
 	// Mark.
 	for r := range m.roots {
 		m.mark(r)
+	}
+	for _, rw := range m.rewriters {
+		rw.fn(func(r Ref) Ref {
+			m.checkRef(r)
+			m.mark(r)
+			return r
+		})
 	}
 	// Sweep: rebuild the free list and the unique table.
 	freed := 0

@@ -21,6 +21,9 @@ func TestGCKeepsProtectedRoots(t *testing.T) {
 	if m.NumNodes() >= before {
 		t.Fatal("node count did not drop")
 	}
+	if err := CheckInvariants(m); err != nil {
+		t.Fatal(err)
+	}
 	// f must still be intact
 	if !m.Eval(f, []bool{true, false, false, false, false, false}) {
 		t.Fatal("protected root corrupted by GC")
@@ -35,6 +38,9 @@ func TestGCRebuildsCanonicity(t *testing.T) {
 	f := m.Protect(m.Or(m.Var(0), m.Var(1)))
 	m.And(m.Var(2), m.Var(3)) // garbage
 	m.GC()
+	if err := CheckInvariants(m); err != nil {
+		t.Fatal(err)
+	}
 	// Recreating the same function must yield the same ref.
 	g := m.Or(m.Var(0), m.Var(1))
 	if g != f {
@@ -152,6 +158,9 @@ func TestReorderPreservesSemantics(t *testing.T) {
 		order := r.Perm(n)
 		roots := m.Reorder(order, []Ref{f})
 		checkAgainstTT(t, m, roots[0], ref, "after reorder")
+		if err := CheckInvariants(m); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
 		// order actually applied
 		got := m.Order()
 		for i := range order {
@@ -170,6 +179,9 @@ func TestReorderTranslatesProtectedRoots(t *testing.T) {
 		t.Fatal("protected root lost in reorder")
 	}
 	m.GC()
+	if err := CheckInvariants(m); err != nil {
+		t.Fatal(err)
+	}
 	if !m.Eval(roots[0], []bool{true, false, false, false}) {
 		t.Fatal("translated root wrong after reorder+GC")
 	}
@@ -187,6 +199,9 @@ func TestSiftReducesInterleavingBlowup(t *testing.T) {
 	before := m.Size(f)
 	roots := m.Sift([]Ref{f})
 	after := m.Size(roots[0])
+	if err := CheckInvariants(m); err != nil {
+		t.Fatal(err)
+	}
 	if after > before {
 		t.Fatalf("sifting made things worse: %d -> %d", before, after)
 	}

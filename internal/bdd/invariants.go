@@ -1,0 +1,171 @@
+package bdd
+
+import "fmt"
+
+// CheckInvariants verifies the manager's structural invariants and
+// returns the first violation found, or nil. It is a test helper:
+// O(nodes + caches), intended to be called after GC, reordering, and
+// fuzzing steps.
+//
+// Checked invariants:
+//   - the variable order maps are inverse bijections;
+//   - the free list is consistent with numFree/numAlloc;
+//   - every live node has a valid level, in-arena non-free children,
+//     strictly increasing levels on every path (child level > node
+//     level), and is reduced (low != high);
+//   - no node carries a GC mark bit outside a collection;
+//   - the unique table contains every live node exactly once, in the
+//     bucket its triple hashes to, with no duplicate triples;
+//   - no operation-cache entry (ITE, binary, AndExists, permutation)
+//     mentions a freed or out-of-arena node — in particular there are no
+//     stale entries after a reorder, which clears all caches.
+func CheckInvariants(m *Manager) error {
+	n := len(m.nodes)
+	if n < 2 {
+		return fmt.Errorf("bdd: arena has %d nodes; terminals missing", n)
+	}
+
+	// Variable order maps.
+	if len(m.var2level) != len(m.level2var) {
+		return fmt.Errorf("bdd: var2level/level2var length mismatch (%d vs %d)",
+			len(m.var2level), len(m.level2var))
+	}
+	for l, v := range m.level2var {
+		if v < 0 || v >= len(m.var2level) {
+			return fmt.Errorf("bdd: level2var[%d] = %d out of range", l, v)
+		}
+		if m.var2level[v] != l {
+			return fmt.Errorf("bdd: order maps disagree: level2var[%d]=%d but var2level[%d]=%d",
+				l, v, v, m.var2level[v])
+		}
+	}
+
+	// Free list.
+	onFree := make([]bool, n)
+	freeLen := 0
+	for i := m.free; i != 0; i = m.nodes[i].next {
+		if int(i) >= n {
+			return fmt.Errorf("bdd: free-list entry %d outside arena of %d", i, n)
+		}
+		if i == 1 {
+			return fmt.Errorf("bdd: terminal on the free list")
+		}
+		if onFree[i] {
+			return fmt.Errorf("bdd: free-list cycle at node %d", i)
+		}
+		onFree[i] = true
+		freeLen++
+	}
+	if freeLen != m.numFree {
+		return fmt.Errorf("bdd: free list has %d entries, numFree says %d", freeLen, m.numFree)
+	}
+	if m.numAlloc+m.numFree != n {
+		return fmt.Errorf("bdd: numAlloc(%d) + numFree(%d) != arena size %d",
+			m.numAlloc, m.numFree, n)
+	}
+
+	// Live nodes.
+	numLevels := uint32(len(m.level2var))
+	for i := 2; i < n; i++ {
+		if onFree[i] {
+			continue
+		}
+		nd := m.nodes[i]
+		if nd.lvl&markBit != 0 {
+			return fmt.Errorf("bdd: node %d carries a GC mark bit outside a collection", i)
+		}
+		if nd.lvl >= numLevels {
+			return fmt.Errorf("bdd: node %d has level %d beyond the %d variables", i, nd.lvl, numLevels)
+		}
+		if int(nd.low) >= n || int(nd.high) >= n {
+			return fmt.Errorf("bdd: node %d has out-of-arena child (%d, %d)", i, nd.low, nd.high)
+		}
+		if !IsTerminal(nd.low) && onFree[nd.low] || !IsTerminal(nd.high) && onFree[nd.high] {
+			return fmt.Errorf("bdd: node %d references a freed child (%d, %d)", i, nd.low, nd.high)
+		}
+		if nd.low == nd.high {
+			return fmt.Errorf("bdd: node %d is unreduced (low == high == %d)", i, nd.low)
+		}
+		if m.level(nd.low) <= nd.lvl || m.level(nd.high) <= nd.lvl {
+			return fmt.Errorf("bdd: node %d at level %d has child at level <= its own "+
+				"(low %d at %d, high %d at %d)", i, nd.lvl,
+				nd.low, m.level(nd.low), nd.high, m.level(nd.high))
+		}
+	}
+
+	// Unique table.
+	type triple struct {
+		lvl       uint32
+		low, high Ref
+	}
+	seen := make(map[triple]uint32, m.numAlloc)
+	chained := 0
+	for b := range m.buckets {
+		steps := 0
+		for i := m.buckets[b]; i != 0; i = m.nodes[i].next {
+			if int(i) >= n {
+				return fmt.Errorf("bdd: bucket %d chains to node %d outside arena", b, i)
+			}
+			if onFree[i] {
+				return fmt.Errorf("bdd: bucket %d chains to freed node %d", b, i)
+			}
+			nd := m.nodes[i]
+			tr := triple{nd.lvl &^ markBit, nd.low, nd.high}
+			if m.hash(tr.lvl, tr.low, tr.high) != uint32(b) {
+				return fmt.Errorf("bdd: node %d (lvl %d, %d, %d) chained in bucket %d, hashes to %d",
+					i, tr.lvl, tr.low, tr.high, b, m.hash(tr.lvl, tr.low, tr.high))
+			}
+			if prev, dup := seen[tr]; dup {
+				return fmt.Errorf("bdd: duplicate unique-table triple (lvl %d, %d, %d): nodes %d and %d",
+					tr.lvl, tr.low, tr.high, prev, i)
+			}
+			seen[tr] = uint32(i)
+			chained++
+			if steps++; steps > n {
+				return fmt.Errorf("bdd: bucket %d chain does not terminate", b)
+			}
+		}
+	}
+	if chained != m.numAlloc-2 {
+		return fmt.Errorf("bdd: unique table holds %d nodes, expected %d live non-terminals",
+			chained, m.numAlloc-2)
+	}
+
+	// Operation caches must not mention freed or out-of-arena nodes.
+	liveRef := func(r Ref) bool { return int(r) < n && (IsTerminal(r) || !onFree[r]) }
+	for i := range m.ite {
+		e := &m.ite[i]
+		if !e.valid {
+			continue
+		}
+		if !liveRef(e.f) || !liveRef(e.g) || !liveRef(e.h) || !liveRef(e.res) {
+			return fmt.Errorf("bdd: stale ITE cache entry %d (%d,%d,%d)->%d", i, e.f, e.g, e.h, e.res)
+		}
+	}
+	for i := range m.binop {
+		e := &m.binop[i]
+		if e.op == 0 {
+			continue
+		}
+		if !liveRef(e.f) || !liveRef(e.g) || !liveRef(e.res) {
+			return fmt.Errorf("bdd: stale binary cache entry %d (op %d: %d,%d)->%d", i, e.op, e.f, e.g, e.res)
+		}
+	}
+	for i := range m.aex {
+		e := &m.aex[i]
+		if !e.valid {
+			continue
+		}
+		if !liveRef(e.f) || !liveRef(e.g) || !liveRef(e.cube) || !liveRef(e.res) {
+			return fmt.Errorf("bdd: stale AndExists cache entry %d (%d,%d,%d)->%d", i, e.f, e.g, e.cube, e.res)
+		}
+	}
+	for pi, p := range m.perms {
+		for from, to := range p.cache {
+			if !liveRef(from) || !liveRef(to) {
+				return fmt.Errorf("bdd: stale permutation %d cache entry %d->%d", pi, from, to)
+			}
+		}
+	}
+	return nil
+}

@@ -211,7 +211,7 @@ func (m *Manager) andExists(f, g, cube Ref) Ref {
 		lc = m.level(cube)
 	}
 
-	slot := cacheIndex(uint32(f), uint32(g), uint32(cube), 0xae, iteCacheSize)
+	slot := cacheIndex(uint32(f), uint32(g), uint32(cube), 0xae, uint32(len(m.aex)))
 	m.Stats.AndExistsLookups++
 	if e := &m.aex[slot]; e.valid && e.f == f && e.g == g && e.cube == cube {
 		m.Stats.CacheHits++

@@ -100,6 +100,12 @@ func (g *Generator) WitnessEG(f bdd.Ref, from kripke.State) (*Trace, error) {
 func (g *Generator) witnessEGRings(egf bdd.Ref, rings *mc.Rings, from kripke.State) (*Trace, error) {
 	s := g.C.S
 	m := s.M
+
+	// The walk holds many unregistered refs (successor sets, closure
+	// sets, EU rings) across image computations; dynamic reordering is
+	// paused for its duration. The expensive fixpoints already ran.
+	resume := m.PauseAutoReorder()
+	defer resume()
 	f := rings.F
 
 	tr := &Trace{S: s, CycleStart: -1, FairHits: map[int]int{}}

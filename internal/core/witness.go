@@ -19,6 +19,11 @@ func (gen *Generator) WitnessEU(f, g bdd.Ref, from kripke.State, extend bool) (*
 	m := s.M
 
 	euSet, rings := gen.C.FairEUApprox(f, g)
+	// The returned rings are neither protected nor registered; pause
+	// reordering while the descent walks them (image computations inside
+	// the walk are reorder safe points otherwise).
+	resume := m.PauseAutoReorder()
+	defer resume()
 	if !s.Holds(euSet, from) {
 		return nil, ErrNotSatisfied
 	}
@@ -62,7 +67,14 @@ func (gen *Generator) WitnessEU(f, g bdd.Ref, from kripke.State, extend bool) (*
 // extended to a fair lasso.
 func (gen *Generator) WitnessEX(f bdd.Ref, from kripke.State, extend bool) (*Trace, error) {
 	s := gen.C.S
-	target := s.M.And(f, gen.C.Fair())
+	// Fair() may run a fair-EG fixpoint and reorder; keep f registered
+	// across it, then pause for the single-step walk.
+	id := s.M.RegisterRefs(&f)
+	fairSet := gen.C.Fair()
+	s.M.Unregister(id)
+	resume := s.M.PauseAutoReorder()
+	defer resume()
+	target := s.M.And(f, fairSet)
 	next := gen.succIn(from, target)
 	if next == nil {
 		return nil, ErrNotSatisfied
@@ -215,6 +227,9 @@ func (gen *Generator) explain(f *ctl.Formula, from kripke.State) (*Trace, error)
 		if err != nil {
 			return nil, err
 		}
+		// A reorder during f.R's fixpoints invalidates the local copy of
+		// lset; the memoized entry was rewritten, so re-fetch it.
+		lset, _ = gen.C.Check(f.L)
 		tr, err := gen.WitnessEU(lset, rset, from, false)
 		if err != nil {
 			return nil, err

@@ -121,6 +121,11 @@ func (sc *Checker) compile(f Formula) ([][]bddTerm, error) {
 // results are unioned — which is valid because a path satisfying the
 // clause satisfies one of the variants.
 func (sc *Checker) CheckEL(f Formula) (bdd.Ref, error) {
+	// The procedure holds compiled term sets and fixpoint iterates as
+	// plain locals and works through unregistered WithFairness views;
+	// dynamic reordering is paused for its duration.
+	resume := sc.C.S.M.PauseAutoReorder()
+	defer resume()
 	clauses, err := sc.compile(f)
 	if err != nil {
 		return bdd.False, err
@@ -221,6 +226,9 @@ func (sc *Checker) CheckSplit(f Formula) (bdd.Ref, error) {
 }
 
 func (sc *Checker) checkSplitFind(f Formula, from kripke.State) (bdd.Ref, *Split, error) {
+	// See CheckEL: compiled sets and split results are unregistered.
+	resume := sc.C.S.M.PauseAutoReorder()
+	defer resume()
 	clauses, err := sc.compile(f)
 	if err != nil {
 		return bdd.False, nil, err
@@ -281,11 +289,13 @@ func (sc *Checker) buildSplit(clauses [][]bddTerm, choice []int) *Split {
 func (sc *Checker) splitSet(split *Split) bdd.Ref {
 	view := sc.C.S.WithFairness(split.FairSets, split.FairNames)
 	vc := mc.New(view)
+	defer vc.Close()
 	eg, rings := vc.FairEG(split.Invariant)
 	rings.Release(view.M)
 	// The prefix is unconstrained: plain EF (no ambient fairness — it is
 	// already folded into the clauses).
 	plain := mc.New(sc.C.S.WithFairness(nil, nil))
+	defer plain.Close()
 	return plain.EU(bdd.True, eg)
 }
 
@@ -301,6 +311,10 @@ func (sc *Checker) Check(f Formula) (bdd.Ref, error) { return sc.CheckEL(f) }
 // preferring splits in clause-term order.
 func (sc *Checker) Witness(f Formula, from kripke.State) (*core.Trace, error) {
 	s := sc.C.S
+	// See CheckEL: the split's sets and the view checkers below are not
+	// registered with the reorder registry.
+	resume := s.M.PauseAutoReorder()
+	defer resume()
 	_, split, err := sc.checkSplitFind(f, from)
 	if err != nil {
 		return nil, err
@@ -311,11 +325,13 @@ func (sc *Checker) Witness(f Formula, from kripke.State) (*core.Trace, error) {
 
 	view := s.WithFairness(split.FairSets, split.FairNames)
 	vc := mc.New(view)
+	defer vc.Close()
 	eg, rings := vc.FairEG(split.Invariant)
 	defer rings.Release(view.M)
 
 	// Finite prefix: EU(true, eg) with no fairness on the prefix.
 	plain := mc.New(s.WithFairness(nil, nil))
+	defer plain.Close()
 	pgen := core.NewGenerator(plain)
 	prefix, err := pgen.WitnessEU(bdd.True, eg, from, false)
 	if err != nil {

@@ -312,18 +312,23 @@ func (s *Symbolic) NumClusters() int {
 }
 
 // preimagePart computes EX to over the cluster schedule with early
-// quantification.
+// quantification. The accumulator is registered so the per-step reorder
+// safe point can fire mid-chain: the structure's hook rewrites the
+// clusters and cubes, the registration rewrites acc.
 func (s *Symbolic) preimagePart(to bdd.Ref) bdd.Ref {
 	m := s.M
 	p := s.part
 	acc := s.ToNext(to)
 	// Quantify next-state vars that no cluster mentions immediately.
 	acc = m.Exists(acc, p.pre.free)
-	for k, ci := range p.pre.order {
-		acc = m.AndExists(acc, p.clusters[ci], p.pre.cubes[k])
+	id := m.RegisterRefs(&acc)
+	for k := range p.pre.order {
+		m.ReorderIfNeeded()
+		acc = m.AndExists(acc, p.clusters[p.pre.order[k]], p.pre.cubes[k])
 		s.relStats.ClusterSteps++
 		s.noteLiveNodes()
 	}
+	m.Unregister(id)
 	return acc
 }
 
@@ -332,10 +337,13 @@ func (s *Symbolic) imagePart(from bdd.Ref) bdd.Ref {
 	m := s.M
 	p := s.part
 	acc := m.Exists(from, p.img.free)
-	for k, ci := range p.img.order {
-		acc = m.AndExists(acc, p.clusters[ci], p.img.cubes[k])
+	id := m.RegisterRefs(&acc)
+	for k := range p.img.order {
+		m.ReorderIfNeeded()
+		acc = m.AndExists(acc, p.clusters[p.img.order[k]], p.img.cubes[k])
 		s.relStats.ClusterSteps++
 		s.noteLiveNodes()
 	}
+	m.Unregister(id)
 	return s.ToCur(acc)
 }

@@ -83,9 +83,50 @@ func NewSymbolic(names []string) *Symbolic {
 	for i, n := range names {
 		s.Vars = append(s.Vars, StateVar{Name: n, Cur: 2 * i, Next: 2*i + 1})
 		s.atoms[n] = m.Protect(m.Var(2 * i))
+		// Each current/next pair sifts as one block: splitting a pair
+		// explodes the transition relation, so reordering never considers
+		// it.
+		m.GroupVars(2*i, 2*i+1)
 	}
 	s.finishVars()
+	m.OnReorder(s.rewriteRefs)
 	return s
+}
+
+// rewriteRefs is the structure's reorder hook: every long-lived Ref the
+// structure holds — initial states, invariant, fairness sets, atoms,
+// quantification cubes, the monolithic relation, and the partition's
+// clusters and schedule cubes — is rewritten in place after a reorder.
+func (s *Symbolic) rewriteRefs(translate func(bdd.Ref) bdd.Ref) {
+	s.Init = translate(s.Init)
+	s.Invar = translate(s.Invar)
+	if s.transValid {
+		s.trans = translate(s.trans)
+	}
+	for i := range s.Fair {
+		s.Fair[i] = translate(s.Fair[i])
+	}
+	for k, v := range s.atoms {
+		s.atoms[k] = translate(v)
+	}
+	s.curCube = translate(s.curCube)
+	s.nextCube = translate(s.nextCube)
+	if s.hasSuccValid {
+		s.hasSucc = translate(s.hasSucc)
+	}
+	if p := s.part; p != nil {
+		for i := range p.clusters {
+			p.clusters[i] = translate(p.clusters[i])
+		}
+		for i := range p.pre.cubes {
+			p.pre.cubes[i] = translate(p.pre.cubes[i])
+		}
+		p.pre.free = translate(p.pre.free)
+		for i := range p.img.cubes {
+			p.img.cubes[i] = translate(p.img.cubes[i])
+		}
+		p.img.free = translate(p.img.free)
+	}
 }
 
 // finishVars (re)computes the cubes and renaming permutations; called
@@ -256,7 +297,13 @@ func (s *Symbolic) Image(from bdd.Ref) bdd.Ref {
 	if s.PartitionEnabled() {
 		return s.imagePart(from)
 	}
-	next := s.M.AndExists(from, s.Trans(), s.curCube)
+	// Registering the argument keeps it valid across Trans(), which may
+	// materialize the monolithic relation (GC) or hit a reorder safe
+	// point.
+	id := s.M.RegisterRefs(&from)
+	trans := s.Trans()
+	s.M.Unregister(id)
+	next := s.M.AndExists(from, trans, s.curCube)
 	s.noteLiveNodes()
 	return s.ToCur(next)
 }
@@ -267,8 +314,11 @@ func (s *Symbolic) Preimage(to bdd.Ref) bdd.Ref {
 	if s.PartitionEnabled() {
 		return s.preimagePart(to)
 	}
+	id := s.M.RegisterRefs(&to)
+	trans := s.Trans()
+	s.M.Unregister(id)
 	next := s.ToNext(to)
-	res := s.M.AndExists(s.Trans(), next, s.nextCube)
+	res := s.M.AndExists(trans, next, s.nextCube)
 	s.noteLiveNodes()
 	return res
 }
@@ -293,9 +343,11 @@ func (s *Symbolic) Reachable() (bdd.Ref, int) {
 	m := s.M
 	reached := m.Protect(s.Init)
 	frontier := m.Protect(s.Init)
+	id := m.RegisterRefs(&reached, &frontier)
 	iters := 0
 	for frontier != bdd.False {
 		iters++
+		m.ReorderIfNeeded()
 		img := s.Image(frontier)
 		m.Unprotect(frontier)
 		frontier = m.Protect(m.Diff(img, reached))
@@ -303,6 +355,7 @@ func (s *Symbolic) Reachable() (bdd.Ref, int) {
 		reached = m.Protect(m.Or(reached, frontier))
 		m.MaybeGC()
 	}
+	m.Unregister(id)
 	m.Unprotect(frontier)
 	m.Unprotect(reached)
 	return reached, iters
@@ -441,6 +494,11 @@ func (s *Symbolic) AddFairness(name string, set bdd.Ref) {
 // transition relation and the atoms are shared; only the fairness
 // constraints differ. Used by the CTL* fragment checker (Section 7),
 // which turns GF-terms into fairness constraints on the fly.
+//
+// A view is not registered with the reorder registry: its copied Refs do
+// not survive a dynamic reorder. Callers must pause automatic reordering
+// (bdd.Manager.PauseAutoReorder) for the view's lifetime, as the CTL*
+// checker does.
 func (s *Symbolic) WithFairness(sets []bdd.Ref, names []string) *Symbolic {
 	view := *s
 	view.Fair = append([]bdd.Ref(nil), sets...)

@@ -8,6 +8,7 @@ package mc
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/bdd"
 	"repro/internal/ctl"
@@ -33,6 +34,11 @@ type Stats struct {
 	PeakClusterNodes int
 	AndExistsLookups uint64
 	AndExistsHits    uint64
+
+	// Dynamic-reordering deltas: sift events triggered and wall time
+	// spent reordering during this checker's work.
+	Reorders    uint64
+	ReorderTime time.Duration
 }
 
 // Checker evaluates CTL formulas over a symbolic Kripke structure. When
@@ -48,11 +54,61 @@ type Checker struct {
 	care bdd.Ref // don't-care optimization: all results restricted to care
 
 	memo map[string]bdd.Ref // formula string -> protected state set
+
+	hook int // reorder-registry id (see rewriteRefs)
 }
 
-// New creates a checker for the structure.
+// New creates a checker for the structure. The checker registers with
+// the manager's reorder registry so its memoized satisfaction sets, the
+// fair set and the care set survive dynamic reordering; call Close to
+// release the registration and the protections when discarding a
+// checker before its manager.
 func New(s *kripke.Symbolic) *Checker {
-	return &Checker{S: s, care: bdd.True, memo: map[string]bdd.Ref{}}
+	c := &Checker{S: s, care: bdd.True, memo: map[string]bdd.Ref{}}
+	c.hook = s.M.OnReorder(c.rewriteRefs)
+	return c
+}
+
+// rewriteRefs is the checker's reorder hook.
+func (c *Checker) rewriteRefs(translate func(bdd.Ref) bdd.Ref) {
+	for k, v := range c.memo {
+		c.memo[k] = translate(v)
+	}
+	if c.haveFair {
+		c.fairSet = translate(c.fairSet)
+	}
+	c.care = translate(c.care)
+}
+
+// Close unregisters the checker from the reorder registry and drops its
+// protections. The checker must not be used afterwards.
+func (c *Checker) Close() {
+	m := c.S.M
+	m.Unregister(c.hook)
+	for _, r := range c.memo {
+		m.Unprotect(r)
+	}
+	c.memo = map[string]bdd.Ref{}
+	if c.haveFair {
+		m.Unprotect(c.fairSet)
+		c.haveFair = false
+	}
+	if c.care != bdd.True {
+		m.Unprotect(c.care)
+	}
+	c.care = bdd.True
+}
+
+// maybeReorder is the checker's fixpoint safe point: it lets the
+// manager sift if growth demands it and attributes the work to this
+// checker's stats.
+func (c *Checker) maybeReorder() {
+	m := c.S.M
+	before := m.Stats
+	if m.ReorderIfNeeded() {
+		c.Stats.Reorders += m.Stats.AutoReorders - before.AutoReorders
+		c.Stats.ReorderTime += m.Stats.ReorderTime - before.ReorderTime
+	}
 }
 
 // UseReachableCareSet computes the reachable states and restricts all
@@ -63,7 +119,10 @@ func New(s *kripke.Symbolic) *Checker {
 // often substantially. Must be called before any Check (the memo is
 // cleared).
 func (c *Checker) UseReachableCareSet() bdd.Ref {
+	before := c.S.M.Stats
 	reach, _ := c.S.Reachable()
+	c.Stats.Reorders += c.S.M.Stats.AutoReorders - before.AutoReorders
+	c.Stats.ReorderTime += c.S.M.Stats.ReorderTime - before.ReorderTime
 	c.SetCareSet(reach)
 	return reach
 }
@@ -104,6 +163,8 @@ func (c *Checker) EX(f bdd.Ref) bdd.Ref {
 	}
 	c.Stats.AndExistsLookups += c.S.M.Stats.AndExistsLookups - ae0.AndExistsLookups
 	c.Stats.AndExistsHits += c.S.M.Stats.AndExistsHits - ae0.AndExistsHits
+	c.Stats.Reorders += c.S.M.Stats.AutoReorders - ae0.AutoReorders
+	c.Stats.ReorderTime += c.S.M.Stats.ReorderTime - ae0.ReorderTime
 	if c.care != bdd.True {
 		pre = c.S.M.And(pre, c.care)
 	}
@@ -130,13 +191,28 @@ func (c *Checker) euApprox(f, g bdd.Ref, keepRings bool) (bdd.Ref, []bdd.Ref) {
 	c.Stats.EUFixpoints++
 	var rings []bdd.Ref
 	q := g
+	// The loop's refs are registered so the per-iteration reorder safe
+	// point (and any reorder inside EX's cluster chain) rewrites them.
+	// The returned rings are only guaranteed until the caller's next
+	// operation: callers keeping them must protect and register them
+	// (FairEG does) or pause reordering (the witness generator does).
+	id := m.OnReorder(func(translate func(bdd.Ref) bdd.Ref) {
+		f = translate(f)
+		q = translate(q)
+		for i := range rings {
+			rings[i] = translate(rings[i])
+		}
+	})
+	defer m.Unregister(id)
 	if keepRings {
 		rings = append(rings, q)
 	}
 	for {
 		c.Stats.EUIterations++
 		c.note()
-		next := m.Or(q, m.And(f, c.EX(q)))
+		c.maybeReorder()
+		ex := c.EX(q)
+		next := m.Or(q, m.And(f, ex))
 		if next == q {
 			return q, rings
 		}
@@ -153,10 +229,14 @@ func (c *Checker) EG(f bdd.Ref) bdd.Ref {
 	m := c.S.M
 	c.Stats.EGFixpoints++
 	z := f
+	id := m.RegisterRefs(&f, &z)
+	defer m.Unregister(id)
 	for {
 		c.Stats.EGIterations++
 		c.note()
-		next := m.And(f, c.EX(z))
+		c.maybeReorder()
+		ex := c.EX(z)
+		next := m.And(f, ex)
 		next = m.And(next, z) // monotone anyway; keeps the invariant explicit
 		if next == z {
 			return z
@@ -231,6 +311,9 @@ func (c *Checker) checkBasis(f *ctl.Formula) (bdd.Ref, error) {
 		if err != nil {
 			return bdd.False, err
 		}
+		// A reorder during f.R's fixpoints invalidates the local copy of
+		// l; the memoized entry was rewritten, so re-fetch it.
+		l, _ = c.checkBasis(f.L)
 		if f.Kind == ctl.KAnd {
 			res = m.And(l, r)
 		} else {
@@ -251,6 +334,7 @@ func (c *Checker) checkBasis(f *ctl.Formula) (bdd.Ref, error) {
 		if err != nil {
 			return bdd.False, err
 		}
+		l, _ = c.checkBasis(f.L) // see KAnd: refresh after f.R's fixpoints
 		res = c.FairEU(l, r)
 	case ctl.KEG:
 		l, err := c.checkBasis(f.L)
@@ -260,8 +344,9 @@ func (c *Checker) checkBasis(f *ctl.Formula) (bdd.Ref, error) {
 		if len(c.S.Fair) == 0 {
 			res = c.EG(l)
 		} else {
-			fr, _ := c.FairEG(l)
+			fr, rings := c.FairEG(l)
 			res = fr
+			rings.Release(m)
 		}
 	default:
 		return bdd.False, fmt.Errorf("mc: formula not in existential basis: %s", f)

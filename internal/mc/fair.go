@@ -20,11 +20,28 @@ import (
 // with Z equal to the fixpoint. Rings[k][i] is the set of states from
 // which some state of (EG f) ∧ h_k is reachable in i or fewer steps
 // along f-states. This is precisely the data Section 6's witness
-// construction walks over.
+// construction walks over. The rings are protected against garbage
+// collection and registered with the reorder registry until Release.
 type Rings struct {
 	F       bdd.Ref     // the f the rings were computed for
 	Result  bdd.Ref     // the fair EG f fixpoint
 	PerFair [][]bdd.Ref // PerFair[k] = rings for fairness constraint k
+
+	hook int // reorder-registry id
+}
+
+// register installs the rings' reorder hook. PerFair may still grow
+// afterwards; the hook reads the current slices on every invocation.
+func (r *Rings) register(m *bdd.Manager) {
+	r.hook = m.OnReorder(func(translate func(bdd.Ref) bdd.Ref) {
+		r.F = translate(r.F)
+		r.Result = translate(r.Result)
+		for _, rs := range r.PerFair {
+			for i := range rs {
+				rs[i] = translate(rs[i])
+			}
+		}
+	})
 }
 
 // FairEG computes EG f under the structure's fairness constraints and
@@ -34,45 +51,66 @@ type Rings struct {
 // the EG set).
 func (c *Checker) FairEG(f bdd.Ref) (bdd.Ref, *Rings) {
 	m := c.S.M
+	// c.S.Fair aliases the structure's slice, whose elements the
+	// structure's reorder hook rewrites in place — reading fair[k] inside
+	// the loops always sees current refs.
 	fair := c.S.Fair
-	if len(fair) == 0 {
+	nFair := len(fair)
+	useTrue := nFair == 0
+	if useTrue {
 		// Treat as a single trivial constraint h = true.
-		fair = []bdd.Ref{bdd.True}
+		nFair = 1
+	}
+	h := func(k int) bdd.Ref {
+		if useTrue {
+			return bdd.True
+		}
+		return fair[k]
 	}
 
 	z := f
+	id := m.RegisterRefs(&f, &z)
 	for {
 		c.Stats.FairEGOuter++
 		c.note()
+		c.maybeReorder()
 		next := f
-		for _, h := range fair {
-			target := m.And(z, h)
+		nid := m.RegisterRefs(&next)
+		for k := 0; k < nFair; k++ {
+			target := m.And(z, h(k))
 			eu := c.EU(f, target)
-			next = m.And(next, c.EX(eu))
+			ex := c.EX(eu)
+			next = m.And(next, ex)
 		}
+		m.Unregister(nid)
 		next = m.And(next, z)
 		if next == z {
 			break
 		}
 		z = next
 	}
+	m.Unregister(id)
 
-	// Final pass with Z at the fixpoint: save the rings.
+	// Final pass with Z at the fixpoint: save the rings. The rings
+	// struct is registered before the pass so sequences already saved
+	// survive reorders triggered by the remaining EU fixpoints.
 	rings := &Rings{F: m.Protect(f), Result: m.Protect(z)}
-	for _, h := range fair {
-		target := m.And(z, h)
-		_, rs := c.EUApprox(f, target)
+	rings.register(m)
+	for k := 0; k < nFair; k++ {
+		target := m.And(rings.Result, h(k))
+		_, rs := c.EUApprox(rings.F, target)
 		for _, r := range rs {
 			m.Protect(r)
 		}
 		rings.PerFair = append(rings.PerFair, rs)
 	}
-	return z, rings
+	return rings.Result, rings
 }
 
-// Release unprotects the rings' BDDs. Call when witness construction is
-// done with them.
+// Release unprotects the rings' BDDs and removes their reorder
+// registration. Call when witness construction is done with them.
 func (r *Rings) Release(m *bdd.Manager) {
+	m.Unregister(r.hook)
 	m.Unprotect(r.F)
 	m.Unprotect(r.Result)
 	for _, rs := range r.PerFair {
@@ -93,19 +131,23 @@ func (c *Checker) Fair() bdd.Ref {
 		c.fairSet = bdd.True
 	} else {
 		res, rings := c.FairEG(bdd.True)
-		rings.Release(c.S.M)
 		c.fairSet = c.S.M.Protect(res)
+		rings.Release(c.S.M)
 	}
 	c.haveFair = true
 	return c.fairSet
 }
 
-// FairEX computes EX f under fairness.
+// FairEX computes EX f under fairness. The argument is registered across
+// the (possibly reordering) fair-set computation.
 func (c *Checker) FairEX(f bdd.Ref) bdd.Ref {
 	if len(c.S.Fair) == 0 {
 		return c.EX(f)
 	}
-	return c.EX(c.S.M.And(f, c.Fair()))
+	id := c.S.M.RegisterRefs(&f)
+	fairSet := c.Fair()
+	c.S.M.Unregister(id)
+	return c.EX(c.S.M.And(f, fairSet))
 }
 
 // FairEU computes E[f U g] under fairness.
@@ -113,7 +155,10 @@ func (c *Checker) FairEU(f, g bdd.Ref) bdd.Ref {
 	if len(c.S.Fair) == 0 {
 		return c.EU(f, g)
 	}
-	return c.EU(f, c.S.M.And(g, c.Fair()))
+	id := c.S.M.RegisterRefs(&f, &g)
+	fairSet := c.Fair()
+	c.S.M.Unregister(id)
+	return c.EU(f, c.S.M.And(g, fairSet))
 }
 
 // FairEUApprox is FairEU with the approximation rings (for witnesses).
@@ -121,5 +166,8 @@ func (c *Checker) FairEUApprox(f, g bdd.Ref) (bdd.Ref, []bdd.Ref) {
 	if len(c.S.Fair) == 0 {
 		return c.EUApprox(f, g)
 	}
-	return c.EUApprox(f, c.S.M.And(g, c.Fair()))
+	id := c.S.M.RegisterRefs(&f, &g)
+	fairSet := c.Fair()
+	c.S.M.Unregister(id)
+	return c.EUApprox(f, c.S.M.And(g, fairSet))
 }

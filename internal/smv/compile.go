@@ -84,8 +84,7 @@ func Compile(m *Module) (*Compiled, error) {
 		defMemo: map[string]*result{},
 		defBusy: map[string]bool{},
 	}
-	// Allocate bits.
-	var names []string
+	// Declare variables (c.Order keeps declaration order for display).
 	for _, vd := range m.Vars {
 		if vd.Type.Kind == TypeInstance {
 			return nil, &Error{Line: vd.line,
@@ -94,18 +93,23 @@ func Compile(m *Module) (*Compiled, error) {
 		if c.Vars[vd.Name] != nil {
 			return nil, &Error{Line: vd.line, Msg: fmt.Sprintf("variable %q redeclared", vd.Name)}
 		}
-		info := &VarInfo{Decl: vd, Values: domainValues(vd.Type)}
+		c.Vars[vd.Name] = &VarInfo{Decl: vd, Values: domainValues(vd.Type)}
+		c.Order = append(c.Order, vd.Name)
+	}
+	// Allocate bits in the netlist-aware static order (see order.go);
+	// NewSymbolic interleaves each bit's current/next copies.
+	var names []string
+	for _, name := range staticOrder(m) {
+		info := c.Vars[name]
 		nbits := bitsFor(len(info.Values))
 		for b := 0; b < nbits; b++ {
-			bitName := vd.Name
+			bitName := name
 			if nbits > 1 {
-				bitName = fmt.Sprintf("%s.%d", vd.Name, b)
+				bitName = fmt.Sprintf("%s.%d", name, b)
 			}
 			info.Bits = append(info.Bits, len(names))
 			names = append(names, bitName)
 		}
-		c.Vars[vd.Name] = info
-		c.Order = append(c.Order, vd.Name)
 	}
 	for _, d := range m.Defines {
 		if c.defines[d.Name] != nil {
@@ -230,7 +234,26 @@ func Compile(m *Module) (*Compiled, error) {
 		}
 		c.S.AddFairness(fmt.Sprintf("FAIRNESS#%d(%s)", i, e.String()), b)
 	}
+	// The DEFINE memo holds raw refs that spec-atom resolution and later
+	// evaluation read; register them so dynamic reordering rewrites them
+	// in place (the structure's own hook covers everything else).
+	mgr.OnReorder(c.rewriteRefs)
 	return c, nil
+}
+
+// rewriteRefs is the compiled model's reorder hook.
+func (c *Compiled) rewriteRefs(translate func(bdd.Ref) bdd.Ref) {
+	seen := map[*result]bool{}
+	for _, r := range c.defMemo {
+		if r == nil || seen[r] {
+			continue
+		}
+		seen[r] = true
+		r.b = translate(r.b)
+		for i := range r.cases {
+			r.cases[i].cond = translate(r.cases[i].cond)
+		}
+	}
 }
 
 // CompileSource parses and compiles in one step.

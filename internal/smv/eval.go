@@ -428,10 +428,12 @@ func (c *Compiled) registerAtoms() error {
 			return c.encodeValue(info, idx, false), nil
 		})
 	}
-	for name, d := range c.defines {
-		name, d := name, d
+	for name := range c.defines {
+		name := name
 		// DEFINEs act as boolean atoms and as eq-atoms when valued.
-		r, err := c.eval(d.Body, false)
+		// Evaluate through the memo (evalIdent) so the eq-atom closure
+		// below aliases the case slice the reorder hook rewrites in place.
+		r, err := c.evalIdent(&Ident{Name: name}, false)
 		if err != nil {
 			return err
 		}

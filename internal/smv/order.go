@@ -1,0 +1,98 @@
+package smv
+
+// Netlist-aware static variable ordering. BDD sizes for sequential
+// circuits depend heavily on the initial order; the SMV lineage derives
+// a decent one from the model text before any dynamic reordering runs:
+// variables whose transition functions read each other are placed next
+// to each other, and (after flattening) each submodule instance comes
+// out contiguous, ordered by its dependencies. The current/next copies
+// of every variable are interleaved by kripke.NewSymbolic, so only the
+// per-variable sequence is chosen here.
+
+// staticOrder returns the declared variables in allocation order: a
+// post-order DFS over the assignment dependency graph, with DEFINEs
+// expanded, so each variable lands right after the variables its
+// transition function reads. Declaration order is the DFS seed order
+// and the fallback for variables with no assignments.
+func staticOrder(m *Module) []string {
+	declared := map[string]bool{}
+	for _, vd := range m.Vars {
+		declared[vd.Name] = true
+	}
+	defines := map[string]*Define{}
+	for _, d := range m.Defines {
+		defines[d.Name] = d
+	}
+
+	// deps[v]: declared variables read by v's assignments, in
+	// first-occurrence order.
+	deps := map[string][]string{}
+	for _, a := range m.Assigns {
+		seen := map[string]bool{}
+		for _, d := range deps[a.Var] {
+			seen[d] = true
+		}
+		list := deps[a.Var]
+		collectVars(a.RHS, declared, defines, map[string]bool{}, seen, &list)
+		deps[a.Var] = list
+	}
+
+	order := make([]string, 0, len(m.Vars))
+	visited := map[string]bool{}
+	var visit func(v string)
+	visit = func(v string) {
+		if visited[v] {
+			return
+		}
+		visited[v] = true
+		for _, d := range deps[v] {
+			visit(d)
+		}
+		order = append(order, v)
+	}
+	for _, vd := range m.Vars {
+		visit(vd.Name)
+	}
+	return order
+}
+
+// collectVars appends the declared variables mentioned in e to *out in
+// first-occurrence order, expanding DEFINE references. busy cuts DEFINE
+// cycles (evaluation reports those as errors later); seen deduplicates
+// across calls.
+func collectVars(e Expr, declared map[string]bool, defines map[string]*Define, busy, seen map[string]bool, out *[]string) {
+	switch x := e.(type) {
+	case *Ident:
+		if declared[x.Name] {
+			if !seen[x.Name] {
+				seen[x.Name] = true
+				*out = append(*out, x.Name)
+			}
+			return
+		}
+		if d := defines[x.Name]; d != nil && !busy[x.Name] {
+			busy[x.Name] = true
+			collectVars(d.Body, declared, defines, busy, seen, out)
+			busy[x.Name] = false
+		}
+	case *NextRef:
+		if declared[x.Name] && !seen[x.Name] {
+			seen[x.Name] = true
+			*out = append(*out, x.Name)
+		}
+	case *Unary:
+		collectVars(x.X, declared, defines, busy, seen, out)
+	case *Binary:
+		collectVars(x.L, declared, defines, busy, seen, out)
+		collectVars(x.R, declared, defines, busy, seen, out)
+	case *SetLit:
+		for _, el := range x.Elems {
+			collectVars(el, declared, defines, busy, seen, out)
+		}
+	case *CaseExpr:
+		for i := range x.Conds {
+			collectVars(x.Conds[i], declared, defines, busy, seen, out)
+			collectVars(x.Vals[i], declared, defines, busy, seen, out)
+		}
+	}
+}
