@@ -891,3 +891,227 @@ func TestRecordReorderBench(t *testing.T) {
 		}
 	}
 }
+
+// --- BENCH_disjunctive.json: the disjunctive-partitioning artifact ----
+//
+// TestRecordDisjunctiveBench is gated behind BENCH_DISJUNCTIVE=1 and
+// writes BENCH_disjunctive.json: for the shipped process models and a
+// scaled token ring it runs the same reachability workload under the
+// conjunctive schedule, the disjunctive image (sequential), and the
+// disjunctive image with worker goroutines, recording wall time, peak
+// live nodes (scratch arenas included) and the per-mode step counters.
+// dining.smv and mutex.smv are synchronous — they carry no disjuncts
+// and ride along as conjunctive/monolithic continuity entries so the
+// artifact covers both composition styles. Kept fast on purpose: the CI
+// bench-smoke job replays it on every push and gates peak-live-node
+// regressions against the committed baseline (cmd/benchgate).
+
+type disjunctiveBenchEntry struct {
+	Model            string  `json:"model"`
+	Mode             string  `json:"mode"`
+	Workload         string  `json:"workload"`
+	Workers          int     `json:"workers"`
+	WallMS           float64 `json:"wall_ms"`
+	PeakLiveNodes    int     `json:"peak_live_nodes"`
+	ImageCalls       uint64  `json:"image_calls,omitempty"`
+	PreimageCalls    uint64  `json:"preimage_calls,omitempty"`
+	ClusterSteps     uint64  `json:"cluster_steps,omitempty"`
+	DisjunctSteps    uint64  `json:"disjunct_steps,omitempty"`
+	ParallelBatches  uint64  `json:"parallel_batches,omitempty"`
+	ScratchPeakNodes int     `json:"scratch_peak_nodes,omitempty"`
+	Clusters         int     `json:"clusters,omitempty"`
+	Components       int     `json:"components,omitempty"`
+	ReachableStates  float64 `json:"reachable_states,omitempty"`
+	Note             string  `json:"note,omitempty"`
+}
+
+// scaledRingSource generates an n-station token ring in the SMV input
+// language — the scaled interleaved model of the disjunctive benchmark
+// (models/ring.smv is the shipped 3-station instance).
+func scaledRingSource(n int) string {
+	var b strings.Builder
+	b.WriteString(`MODULE station(token, me, succ)
+VAR
+  st : {idle, want, cs};
+ASSIGN
+  init(st) := idle;
+  next(st) := case
+    st = idle              : {idle, want};
+    st = want & token = me : cs;
+    st = cs                : idle;
+    TRUE                   : st;
+  esac;
+  next(token) := case
+    st = cs                : succ;
+    st = idle & token = me : succ;
+    TRUE                   : token;
+  esac;
+FAIRNESS running
+
+MODULE main
+VAR
+  token : {`)
+	for i := 1; i <= n; i++ {
+		if i > 1 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "s%d", i)
+	}
+	b.WriteString("};\n")
+	for i := 1; i <= n; i++ {
+		succ := i%n + 1
+		fmt.Fprintf(&b, "  st%d : process station(token, s%d, s%d);\n", i, i, succ)
+	}
+	b.WriteString("ASSIGN\n  init(token) := s1;\n")
+	return b.String()
+}
+
+func TestRecordDisjunctiveBench(t *testing.T) {
+	if os.Getenv("BENCH_DISJUNCTIVE") != "1" {
+		t.Skip("set BENCH_DISJUNCTIVE=1 to record BENCH_disjunctive.json")
+	}
+	const gcThreshold = 1 << 16 // tight threshold: peaks reflect live sets
+
+	fromFile := func(name string) func() (*kripke.Symbolic, error) {
+		return func() (*kripke.Symbolic, error) {
+			src, err := os.ReadFile("models/" + name)
+			if err != nil {
+				return nil, err
+			}
+			c, err := smv.CompileSource(string(src))
+			if err != nil {
+				return nil, err
+			}
+			return c.S, nil
+		}
+	}
+	fromSource := func(src string) func() (*kripke.Symbolic, error) {
+		return func() (*kripke.Symbolic, error) {
+			c, err := smv.CompileSource(src)
+			if err != nil {
+				return nil, err
+			}
+			return c.S, nil
+		}
+	}
+
+	// run measures the reachability fixpoint plus a short backward sweep
+	// on a fresh instance per mode, so caches never leak across modes.
+	run := func(name string, compile func() (*kripke.Symbolic, error), mode string, workers int) disjunctiveBenchEntry {
+		s, err := compile()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		m := s.M
+		m.SetGCThreshold(gcThreshold)
+		switch mode {
+		case "disjunctive":
+			if s.NumDisjuncts() == 0 {
+				t.Fatalf("%s: no disjuncts for disjunctive mode", name)
+			}
+			s.EnableDisjunct(true)
+			s.SetWorkers(workers)
+		case "conjunctive":
+			if !s.HasClusters() {
+				t.Fatalf("%s: no clusters for conjunctive mode", name)
+			}
+		case "monolithic":
+			s.EnablePartition(false)
+		}
+		m.GC()
+		s.ResetRelStats()
+		t0 := time.Now()
+		reach, _ := s.Reachable()
+		pre := reach
+		for i := 0; i < 3; i++ {
+			pre = s.Preimage(pre)
+		}
+		wall := time.Since(t0)
+		rs := s.RelStats()
+		return disjunctiveBenchEntry{
+			Model:            name,
+			Mode:             mode,
+			Workload:         "reachable+ex3",
+			Workers:          workers,
+			WallMS:           float64(wall.Microseconds()) / 1000,
+			PeakLiveNodes:    rs.PeakLiveNodes,
+			ImageCalls:       rs.ImageCalls,
+			PreimageCalls:    rs.PreimageCalls,
+			ClusterSteps:     rs.ClusterSteps,
+			DisjunctSteps:    rs.DisjunctSteps,
+			ParallelBatches:  rs.ParallelBatches,
+			ScratchPeakNodes: rs.ScratchPeakNodes,
+			Clusters:         s.NumClusters(),
+			Components:       s.NumDisjuncts(),
+			ReachableStates:  s.CountStates(reach),
+		}
+	}
+
+	var entries []disjunctiveBenchEntry
+	// Synchronous continuity entries: no disjuncts to run.
+	for _, name := range []string{"dining.smv", "mutex.smv"} {
+		for _, mode := range []string{"conjunctive", "monolithic"} {
+			e := run(name, fromFile(name), mode, 1)
+			e.Note = "synchronous model: no process components"
+			entries = append(entries, e)
+		}
+	}
+	// Interleaved models: conjunctive vs disjunctive (seq and parallel).
+	type interleaved struct {
+		name    string
+		compile func() (*kripke.Symbolic, error)
+	}
+	ringN := 8
+	models := []interleaved{
+		{"ring.smv", fromFile("ring.smv")},
+		{fmt.Sprintf("scaled-ring-%d", ringN), fromSource(scaledRingSource(ringN))},
+	}
+	for _, im := range models {
+		entries = append(entries,
+			run(im.name, im.compile, "conjunctive", 1),
+			run(im.name, im.compile, "disjunctive", 1),
+			run(im.name, im.compile, "disjunctive", 2),
+			run(im.name, im.compile, "disjunctive", 4),
+		)
+	}
+
+	out, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_disjunctive.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_disjunctive.json with %d entries", len(entries))
+
+	// Acceptance: on the scaled interleaved model the disjunctive image
+	// with >= 2 workers must beat the conjunctive schedule on peak live
+	// nodes or wall time.
+	key := func(model, mode string, workers int) *disjunctiveBenchEntry {
+		for i := range entries {
+			e := &entries[i]
+			if e.Model == model && e.Mode == mode && e.Workers == workers {
+				return e
+			}
+		}
+		return nil
+	}
+	scaled := fmt.Sprintf("scaled-ring-%d", ringN)
+	conj := key(scaled, "conjunctive", 1)
+	for _, w := range []int{2, 4} {
+		disj := key(scaled, "disjunctive", w)
+		if conj == nil || disj == nil {
+			t.Fatal("scaled-ring entries missing")
+		}
+		if disj.ParallelBatches == 0 {
+			t.Fatalf("workers=%d: no parallel batches recorded", w)
+		}
+		if disj.PeakLiveNodes >= conj.PeakLiveNodes && disj.WallMS >= conj.WallMS {
+			t.Errorf("workers=%d: disjunctive (peak %d, %.1fms) beats conjunctive (peak %d, %.1fms) on neither axis",
+				w, disj.PeakLiveNodes, disj.WallMS, conj.PeakLiveNodes, conj.WallMS)
+		}
+		if disj.ReachableStates != conj.ReachableStates {
+			t.Errorf("workers=%d: reachable count differs: %v vs %v", w, disj.ReachableStates, conj.ReachableStates)
+		}
+	}
+}

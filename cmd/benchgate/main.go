@@ -1,0 +1,163 @@
+// Command benchgate compares a freshly recorded BENCH_*.json artifact
+// against the committed baseline and fails (exit 1) when any entry's
+// gated metric regressed beyond the allowed percentage. It is the
+// quality gate behind the CI bench-smoke job: wall-clock numbers are
+// recorded for humans but never gated (shared runners make them noisy);
+// peak live BDD nodes are deterministic for a fixed model and schedule,
+// so a >25% jump means an algorithmic regression, not jitter.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_disjunctive.json -current new.json \
+//	          [-metric peak_live_nodes] [-max-regress 25]
+//
+// The artifact format is an array of flat JSON objects. An entry's
+// identity is the concatenation of its string- and bool-valued fields
+// plus the numeric fields "cells" and "workers" — which covers every
+// recorder in this repo (model/mode/workload/cells/workers/completed) —
+// and the gated metric is any numeric field (default peak_live_nodes).
+// Entries present in the baseline but missing from the current run fail
+// the gate too: silently dropping a configuration is a coverage
+// regression, not a pass.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// identityNumeric names the numeric fields that parameterize an entry
+// rather than measure it.
+var identityNumeric = map[string]bool{"cells": true, "workers": true}
+
+type entry map[string]any
+
+// key builds the identity string for an entry: every string and bool
+// field plus the allowlisted numeric parameters, in sorted field order.
+func key(e entry) string {
+	fields := make([]string, 0, len(e))
+	for k := range e {
+		fields = append(fields, k)
+	}
+	sort.Strings(fields)
+	var b strings.Builder
+	for _, k := range fields {
+		switch v := e[k].(type) {
+		case string:
+			fmt.Fprintf(&b, "%s=%s|", k, v)
+		case bool:
+			fmt.Fprintf(&b, "%s=%v|", k, v)
+		case float64:
+			if identityNumeric[k] {
+				fmt.Fprintf(&b, "%s=%g|", k, v)
+			}
+		}
+	}
+	return b.String()
+}
+
+func load(path string) ([]entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []entry
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return out, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "committed baseline BENCH_*.json")
+	currentPath := flag.String("current", "", "freshly recorded BENCH_*.json")
+	metric := flag.String("metric", "peak_live_nodes", "numeric field to gate on")
+	maxRegress := flag.Float64("max-regress", 25, "allowed regression in percent")
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchgate -baseline old.json -current new.json [-metric f] [-max-regress pct]")
+		os.Exit(2)
+	}
+
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	current, err := load(*currentPath)
+	if err != nil {
+		fatal(err)
+	}
+	byKey := make(map[string]entry, len(current))
+	for _, e := range current {
+		byKey[key(e)] = e
+	}
+
+	failures := 0
+	for _, base := range baseline {
+		k := key(base)
+		baseVal, ok := base[*metric].(float64)
+		if !ok {
+			continue // entry does not carry the gated metric (e.g. a note-only row)
+		}
+		cur, ok := byKey[k]
+		if !ok {
+			fmt.Printf("MISSING  %s — entry absent from current run\n", describe(base))
+			failures++
+			continue
+		}
+		curVal, ok := cur[*metric].(float64)
+		if !ok {
+			fmt.Printf("MISSING  %s — current entry lost field %q\n", describe(base), *metric)
+			failures++
+			continue
+		}
+		limit := baseVal * (1 + *maxRegress/100)
+		switch {
+		case curVal > limit:
+			fmt.Printf("REGRESS  %s — %s %.0f -> %.0f (limit %.0f, +%.1f%%)\n",
+				describe(base), *metric, baseVal, curVal, limit, 100*(curVal-baseVal)/baseVal)
+			failures++
+		case curVal < baseVal:
+			fmt.Printf("improved %s — %s %.0f -> %.0f\n", describe(base), *metric, baseVal, curVal)
+		default:
+			fmt.Printf("ok       %s — %s %.0f -> %.0f\n", describe(base), *metric, baseVal, curVal)
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("\nbenchgate: %d entr%s regressed beyond %.0f%% on %s\n",
+			failures, plural(failures), *maxRegress, *metric)
+		os.Exit(1)
+	}
+	fmt.Printf("\nbenchgate: %d entries within %.0f%% of baseline on %s\n",
+		len(baseline), *maxRegress, *metric)
+}
+
+// describe renders the human-readable identity of an entry.
+func describe(e entry) string {
+	parts := []string{}
+	for _, k := range []string{"model", "mode", "workload", "cells", "workers"} {
+		switch v := e[k].(type) {
+		case string:
+			parts = append(parts, v)
+		case float64:
+			parts = append(parts, fmt.Sprintf("%s=%g", k, v))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return "y"
+	}
+	return "ies"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(2)
+}

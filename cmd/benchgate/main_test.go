@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestKeyIgnoresMeasurements(t *testing.T) {
+	a := entry{"model": "ring.smv", "mode": "disjunctive", "workers": 2.0,
+		"peak_live_nodes": 1871.0, "wall_ms": 4.2}
+	b := entry{"model": "ring.smv", "mode": "disjunctive", "workers": 2.0,
+		"peak_live_nodes": 99999.0, "wall_ms": 0.1}
+	if key(a) != key(b) {
+		t.Fatalf("measurement fields leaked into identity:\n%s\n%s", key(a), key(b))
+	}
+}
+
+func TestKeyDistinguishesParameters(t *testing.T) {
+	base := entry{"model": "ring.smv", "mode": "disjunctive", "workers": 2.0}
+	for name, other := range map[string]entry{
+		"workers": {"model": "ring.smv", "mode": "disjunctive", "workers": 4.0},
+		"mode":    {"model": "ring.smv", "mode": "conjunctive", "workers": 2.0},
+		"model":   {"model": "mutex.smv", "mode": "disjunctive", "workers": 2.0},
+		"cells":   {"model": "ring.smv", "mode": "disjunctive", "workers": 2.0, "cells": 8.0},
+		"bool":    {"model": "ring.smv", "mode": "disjunctive", "workers": 2.0, "completed": true},
+	} {
+		if key(base) == key(other) {
+			t.Errorf("%s: identity collision: %s", name, key(base))
+		}
+	}
+}
+
+func TestDescribeSkipsMissingFields(t *testing.T) {
+	got := describe(entry{"model": "dining.smv", "mode": "monolithic", "workers": 1.0})
+	want := "dining.smv monolithic workers=1"
+	if got != want {
+		t.Fatalf("describe = %q, want %q", got, want)
+	}
+}

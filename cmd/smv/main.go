@@ -6,18 +6,20 @@
 // Usage:
 //
 //	smv [-stats] [-delta] [-reachable] [-witness] [-compact] [-tree]
-//	    [-reorder] [-simulate N -seed S] model.smv
+//	    [-reorder] [-disjunctive] [-workers N] [-simulate N -seed S] model.smv
 //
 // Flags:
 //
-//	-stats      print BDD and fixpoint statistics after checking
-//	-reorder    enable dynamic variable reordering (growth-triggered sifting)
-//	-delta      print traces showing only changed variables per state
-//	-reachable  report the number of reachable states first
-//	-witness    for specs that hold and are existential, print a witness
-//	-compact    shorten traces with shortcut compaction (§9 extension)
-//	-tree       print failures as hierarchical explanation trees (§9)
-//	-simulate N print a random N-step execution instead of checking
+//	-stats       print BDD and fixpoint statistics after checking
+//	-reorder     enable dynamic variable reordering (growth-triggered sifting)
+//	-disjunctive use the disjunctive (per-process) image on interleaved models
+//	-workers N   evaluate disjunctive components on N goroutines
+//	-delta       print traces showing only changed variables per state
+//	-reachable   report the number of reachable states first
+//	-witness     for specs that hold and are existential, print a witness
+//	-compact     shorten traces with shortcut compaction (§9 extension)
+//	-tree        print failures as hierarchical explanation trees (§9)
+//	-simulate N  print a random N-step execution instead of checking
 package main
 
 import (
@@ -44,6 +46,8 @@ func main() {
 	simulate := flag.Int("simulate", 0, "print a random execution of N steps instead of checking")
 	seed := flag.Int64("seed", 1, "random seed for -simulate")
 	reorder := flag.Bool("reorder", false, "enable dynamic variable reordering")
+	disjunctive := flag.Bool("disjunctive", false, "use the disjunctive (per-process) image on interleaved models")
+	workers := flag.Int("workers", 1, "worker goroutines for the disjunctive image")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -62,6 +66,14 @@ func main() {
 	if *reorder {
 		compiled.S.M.EnableAutoReorder(nil)
 	}
+	if *disjunctive {
+		if compiled.S.NumDisjuncts() == 0 {
+			fmt.Fprintln(os.Stderr, "warning: -disjunctive has no effect: model declares no processes")
+		} else {
+			compiled.S.EnableDisjunct(true)
+		}
+	}
+	compiled.S.SetWorkers(*workers)
 
 	// CTL semantics assume a total transition relation; warn when the
 	// model has deadlocked states so vacuous EG/EX verdicts on them are
@@ -149,8 +161,13 @@ func main() {
 		rel := compiled.S.RelStats()
 		fmt.Printf("transition clusters: %d (preimages %d, images %d, cluster steps %d, peak %d nodes in chains)\n",
 			compiled.S.NumClusters(), rel.PreimageCalls, rel.ImageCalls, rel.ClusterSteps, rel.PeakLiveNodes)
-		fmt.Printf("checker preimages:  %d (%d cluster steps, AndExists cache hits %d / lookups %d)\n",
-			checker.Stats.PreimageCalls, checker.Stats.ClusterSteps,
+		if n := compiled.S.NumDisjuncts(); n > 0 {
+			fmt.Printf("disjunctive components: %d (enabled %v, workers %d, disjunct steps %d, parallel batches %d, scratch peak %d nodes)\n",
+				n, compiled.S.DisjunctEnabled(), compiled.S.Workers(),
+				rel.DisjunctSteps, rel.ParallelBatches, rel.ScratchPeakNodes)
+		}
+		fmt.Printf("checker preimages:  %d (%d cluster steps, %d disjunct steps, AndExists cache hits %d / lookups %d)\n",
+			checker.Stats.PreimageCalls, checker.Stats.ClusterSteps, checker.Stats.DisjunctSteps,
 			checker.Stats.AndExistsHits, checker.Stats.AndExistsLookups)
 		fmt.Printf("witness ring steps: %d (restarts %d, %d single-state images)\n",
 			gen.Stats.RingSteps, gen.Stats.Restarts, gen.Stats.ImageCalls)

@@ -1,0 +1,69 @@
+package bdd
+
+// Cross-manager transfer. The parallel disjunctive image computation
+// (kripke/disjunct.go) evaluates independent AndExists calls in worker
+// goroutines; since a Manager is single-threaded by design, each worker
+// builds into a private scratch Manager and the coordinator moves
+// operands in and results out with CopyTo. The copy is structural —
+// every node is re-created level-for-level through the destination's
+// unique table — so it is only meaningful between managers that agree
+// on the variable order; NewWithOrder exists to mint such scratch
+// arenas from a live manager's current order.
+
+// NewWithOrder creates a Manager over len(order) variables whose
+// initial variable order places order[i] at level i (order must be a
+// permutation of 0..len(order)-1). The arena starts empty apart from
+// the terminals, so installing the order is free.
+func NewWithOrder(order []int) *Manager {
+	m := New(len(order))
+	m.validateOrder(order)
+	copy(m.level2var, order)
+	for l, v := range order {
+		m.var2level[v] = l
+	}
+	return m
+}
+
+// CopyTo rebuilds f — a node of m — inside dst and returns the
+// corresponding dst Ref. Both managers must place every variable at the
+// same level (in practice dst is created with NewWithOrder(m.Order())):
+// the copy re-creates each node at its source level through dst's
+// unique table, and a mismatched order would silently assemble a
+// diagram violating the ordering invariant, so CopyTo verifies the
+// orders agree and panics otherwise.
+//
+// CopyTo only reads m and only writes dst. That asymmetry is what makes
+// the scratch-arena concurrency model work: a coordinator goroutine may
+// copy into several scratch managers while no operation runs on m, and
+// each worker may later mutate its own scratch without synchronization.
+func (m *Manager) CopyTo(dst *Manager, f Ref) Ref {
+	m.checkRef(f)
+	if dst == m {
+		return f
+	}
+	if len(dst.level2var) != len(m.level2var) {
+		panic("bdd: CopyTo between managers with different variable counts")
+	}
+	for l, v := range m.level2var {
+		if dst.level2var[l] != v {
+			panic("bdd: CopyTo between managers with different variable orders")
+		}
+	}
+	memo := make(map[Ref]Ref)
+	var walk func(Ref) Ref
+	walk = func(g Ref) Ref {
+		if IsTerminal(g) {
+			return g
+		}
+		if r, ok := memo[g]; ok {
+			return r
+		}
+		n := m.nodes[g]
+		low := walk(n.low)
+		high := walk(n.high)
+		r := dst.mk(n.lvl&^markBit, low, high)
+		memo[g] = r
+		return r
+	}
+	return walk(f)
+}

@@ -1,0 +1,468 @@
+package kripke
+
+import (
+	"strconv"
+	"sync"
+
+	"repro/internal/bdd"
+)
+
+// Disjunctively partitioned transition relations for asynchronous
+// interleaving models. Where the conjunctive partition (partition.go)
+// factors a synchronous relation R = ⋀ᵢ Cᵢ, an interleaved model is
+// naturally a union of per-process step relations
+//
+//	R(v,v′) = ⋁ᵢ Tᵢ(v,v′)
+//
+// (each Tᵢ: "process i takes a step, everything it does not drive is
+// framed"), and the image distributes over the union:
+//
+//	Image(S) = ⋃ᵢ ∃v.(S ∧ Tᵢ)
+//
+// Each component gets its own quantification cubes: variables outside
+// Tᵢ's support are quantified from the argument *before* the relational
+// product (∃x.(S ∧ T) = (∃x.S) ∧ T when x ∉ sup(T)), shrinking the
+// operand AndExists actually sees. Components are independent — no
+// chain threads an accumulator through them — which is what makes the
+// disjunctive image parallelizable: with SetWorkers(n>1) the
+// per-component AndExists calls run in worker goroutines, each inside a
+// thread-confined scratch Manager aligned to the main manager's
+// variable order, and the coordinator OR-merges the copied-back results
+// (see DESIGN.md §5 for the worker-safety model and the tradeoff
+// against pipelining on the shared manager).
+//
+// Reachability additionally tracks a per-component frontier: fed[i] is
+// the set of states already expanded through component i, so a round
+// only feeds each component the states it has not seen. Sequentially
+// the components chain — states discovered by component i feed
+// component i+1 within the same round — while the parallel schedule
+// expands all components from the same snapshot and merges.
+
+// component is one disjunct Tᵢ with its precomputed quantification
+// cubes for both image directions.
+type component struct {
+	rel  bdd.Ref
+	name string
+
+	imgCube bdd.Ref // current-state vars in sup(rel): quantified inside AndExists
+	imgFree bdd.Ref // current-state vars absent from rel: pre-quantified from the argument
+	preCube bdd.Ref // next-state vars in sup(rel)
+	preFree bdd.Ref // next-state vars absent from rel
+}
+
+// scratch is one component's thread-confined evaluation arena for the
+// parallel schedule. The component relation is copied in once and
+// cached; the copy (and the arena's operation caches, which persist
+// between image calls) is invalidated whenever the main manager
+// reorders, since the arenas must agree on the variable order for
+// CopyTo to be meaningful.
+type scratch struct {
+	m       *bdd.Manager
+	rel     bdd.Ref // cached component copy, protected in m
+	haveRel bool
+	valid   bool
+}
+
+// scratchGCThreshold: collect a scratch arena after a batch once it
+// holds this many nodes (only the cached component copy survives).
+// Kept small: arena garbage left between batches is live memory that
+// counts against the peak, and collecting a few thousand nodes costs
+// less than the CopyTo traffic the batch already paid.
+const scratchGCThreshold = 1 << 12
+
+// Disjunct holds the components of a disjunctive transition partition
+// and their scratch arenas.
+type Disjunct struct {
+	comps   []component
+	scratch []scratch
+}
+
+// NumComponents returns the number of disjunctive components.
+func (d *Disjunct) NumComponents() int { return len(d.comps) }
+
+// ComponentNames returns the component display names in installation
+// order.
+func (d *Disjunct) ComponentNames() []string {
+	out := make([]string, len(d.comps))
+	for i := range d.comps {
+		out[i] = d.comps[i].name
+	}
+	return out
+}
+
+// Components returns a copy of the component relations.
+func (d *Disjunct) Components() []bdd.Ref {
+	out := make([]bdd.Ref, len(d.comps))
+	for i := range d.comps {
+		out[i] = d.comps[i].rel
+	}
+	return out
+}
+
+// invalidateScratch drops every cached scratch arena; called from the
+// structure's reorder hook (the arenas' variable orders no longer match
+// the main manager) and when the partition is replaced.
+func (d *Disjunct) invalidateScratch() {
+	for i := range d.scratch {
+		d.scratch[i] = scratch{}
+	}
+}
+
+// SetDisjuncts installs a disjunctive partition of the transition
+// relation: the union of the components must equal Trans (the SMV
+// compiler guarantees this for process models). Constant-false
+// components are dropped. names supplies display names per component
+// (nil for positional defaults). Passing an empty slice removes the
+// partition. Installation computes the per-component quantification
+// cubes from the components' supports.
+//
+// The disjunctive path starts disabled; EnableDisjunct(true) switches
+// Image/Preimage/Reachable over to it.
+func (s *Symbolic) SetDisjuncts(comps []bdd.Ref, names []string) {
+	m := s.M
+	if s.disj != nil {
+		for i := range s.disj.comps {
+			c := &s.disj.comps[i]
+			m.Unprotect(c.rel)
+			m.Unprotect(c.imgCube)
+			m.Unprotect(c.imgFree)
+			m.Unprotect(c.preCube)
+			m.Unprotect(c.preFree)
+		}
+		s.disj = nil
+	}
+	if len(comps) == 0 {
+		return
+	}
+	isCur := make(map[int]bool, len(s.Vars))
+	isNext := make(map[int]bool, len(s.Vars))
+	for _, v := range s.Vars {
+		isCur[v.Cur] = true
+		isNext[v.Next] = true
+	}
+	d := &Disjunct{}
+	for i, rel := range comps {
+		if rel == bdd.False {
+			continue
+		}
+		name := ""
+		if names != nil && i < len(names) {
+			name = names[i]
+		}
+		if name == "" {
+			name = "component#" + strconv.Itoa(i)
+		}
+		inSup := map[int]bool{}
+		for _, v := range m.Support(rel) {
+			inSup[v] = true
+		}
+		var curIn, curOut, nextIn, nextOut []int
+		for _, sv := range s.Vars {
+			if inSup[sv.Cur] {
+				curIn = append(curIn, sv.Cur)
+			} else {
+				curOut = append(curOut, sv.Cur)
+			}
+			if inSup[sv.Next] {
+				nextIn = append(nextIn, sv.Next)
+			} else {
+				nextOut = append(nextOut, sv.Next)
+			}
+		}
+		d.comps = append(d.comps, component{
+			rel:     m.Protect(rel),
+			name:    name,
+			imgCube: m.Protect(m.Cube(curIn)),
+			imgFree: m.Protect(m.Cube(curOut)),
+			preCube: m.Protect(m.Cube(nextIn)),
+			preFree: m.Protect(m.Cube(nextOut)),
+		})
+	}
+	d.scratch = make([]scratch, len(d.comps))
+	s.disj = d
+	// Defer the monolithic relation when nothing installed one: Trans()
+	// will OR the components on first demand, exactly as the conjunctive
+	// partition defers the cluster conjunction.
+	if s.trans == bdd.True && s.part == nil {
+		s.transValid = false
+	}
+}
+
+// EnableDisjunct toggles use of an installed disjunctive partition.
+// When enabled it takes precedence over a conjunctive partition, so
+// differential tests can flip one structure between all three image
+// strategies (disjunctive, conjunctive, monolithic).
+func (s *Symbolic) EnableDisjunct(on bool) { s.disjOn = on }
+
+// DisjunctEnabled reports whether Image/Preimage currently use the
+// disjunctive partition.
+func (s *Symbolic) DisjunctEnabled() bool { return s.disj != nil && s.disjOn }
+
+// Disjunct returns the installed disjunctive partition, or nil.
+func (s *Symbolic) Disjunct() *Disjunct { return s.disj }
+
+// NumDisjuncts returns the number of installed disjunctive components
+// (0 if none).
+func (s *Symbolic) NumDisjuncts() int {
+	if s.disj == nil {
+		return 0
+	}
+	return len(s.disj.comps)
+}
+
+// SetWorkers sets the number of goroutines the disjunctive image uses
+// to evaluate components (n <= 1: sequential, on the main manager).
+func (s *Symbolic) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.workers = n
+}
+
+// Workers returns the configured disjunctive worker count.
+func (s *Symbolic) Workers() int { return s.workers }
+
+// imageDisjunct computes successors over the disjunctive components.
+func (s *Symbolic) imageDisjunct(from bdd.Ref) bdd.Ref {
+	args := make([]bdd.Ref, len(s.disj.comps))
+	for i := range args {
+		args[i] = from
+	}
+	return s.ToCur(s.disjunctApply(args, false))
+}
+
+// preimageDisjunct computes EX to over the disjunctive components.
+func (s *Symbolic) preimageDisjunct(to bdd.Ref) bdd.Ref {
+	next := s.ToNext(to)
+	args := make([]bdd.Ref, len(s.disj.comps))
+	for i := range args {
+		args[i] = next
+	}
+	return s.disjunctApply(args, true)
+}
+
+// disjunctApply evaluates ⋁ᵢ ∃cubeᵢ.(argsᵢ ∧ Tᵢ) and returns the union
+// (over next-state variables for the image direction, current-state for
+// the preimage direction). args holds one argument per component —
+// identical refs for a plain image, per-component deltas for the
+// reachability sweep; bdd.False entries are skipped.
+func (s *Symbolic) disjunctApply(args []bdd.Ref, pre bool) bdd.Ref {
+	if s.workers > 1 && len(s.disj.comps) > 1 {
+		return s.disjunctApplyParallel(args, pre)
+	}
+	return s.disjunctApplySeq(args, pre)
+}
+
+// disjunctApplySeq is the sequential schedule: every component's
+// relational product runs on the main manager (sharing its AndExists
+// cache), with a reorder safe point between components.
+func (s *Symbolic) disjunctApplySeq(args []bdd.Ref, pre bool) bdd.Ref {
+	m := s.M
+	d := s.disj
+	res := bdd.False
+	ptrs := make([]*bdd.Ref, 0, len(args)+1)
+	ptrs = append(ptrs, &res)
+	for i := range args {
+		ptrs = append(ptrs, &args[i])
+	}
+	id := m.RegisterRefs(ptrs...)
+	for i := range d.comps {
+		if args[i] == bdd.False {
+			continue
+		}
+		m.ReorderIfNeeded()
+		c := &d.comps[i]
+		cube, free := c.imgCube, c.imgFree
+		if pre {
+			cube, free = c.preCube, c.preFree
+		}
+		part := m.AndExists(m.Exists(args[i], free), c.rel, cube)
+		res = m.Or(res, part)
+		s.relStats.ClusterSteps++
+		s.relStats.DisjunctSteps++
+		s.noteLiveNodes()
+	}
+	m.Unregister(id)
+	return res
+}
+
+// disjunctTask is one component's unit of parallel work. The coordinator
+// fills the scratch-manager operand refs before the workers start and
+// reads res/peak after they join, so no field is accessed concurrently.
+type disjunctTask struct {
+	sc        *scratch
+	arg, cube bdd.Ref // operands in sc.m
+	res       bdd.Ref // result in sc.m, protected until copied back
+	peak      int     // sc.m nodes after the product and the arena sweep
+	stats0    bdd.Stats
+}
+
+// disjunctApplyParallel is the worker schedule. The main manager is
+// only ever touched by the calling goroutine: it projects and copies
+// the operands into per-component scratch arenas up front, the workers
+// run AndExists entirely inside their (mutually disjoint) arenas, and
+// after the join the coordinator copies the results back and OR-merges
+// them. Automatic reordering is paused for the duration so the arenas'
+// variable orders stay aligned with the main manager's.
+func (s *Symbolic) disjunctApplyParallel(args []bdd.Ref, pre bool) bdd.Ref {
+	m := s.M
+	d := s.disj
+	resume := m.PauseAutoReorder()
+	defer resume()
+
+	var tasks []*disjunctTask
+	for i := range d.comps {
+		if args[i] == bdd.False {
+			continue
+		}
+		c := &d.comps[i]
+		cube, free := c.imgCube, c.imgFree
+		if pre {
+			cube, free = c.preCube, c.preFree
+		}
+		proj := m.Exists(args[i], free)
+		if proj == bdd.False {
+			continue
+		}
+		sc := &d.scratch[i]
+		if !sc.valid {
+			sc.m = bdd.NewWithOrder(m.Order())
+			sc.haveRel = false
+			sc.valid = true
+		}
+		if !sc.haveRel {
+			sc.rel = sc.m.Protect(m.CopyTo(sc.m, c.rel))
+			sc.haveRel = true
+		}
+		tasks = append(tasks, &disjunctTask{
+			sc:     sc,
+			arg:    m.CopyTo(sc.m, proj),
+			cube:   m.CopyTo(sc.m, cube),
+			stats0: sc.m.Stats,
+		})
+	}
+	if len(tasks) == 0 {
+		return bdd.False
+	}
+
+	ch := make(chan *disjunctTask)
+	var wg sync.WaitGroup
+	workers := s.workers
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range ch {
+				t.res = t.sc.m.AndExists(t.arg, t.sc.rel, t.cube)
+				// Sweep the arena before the next task: with the result
+				// protected, only the cached relation copy and pending results
+				// survive, so a batch never holds every component's product
+				// garbage at once. GC never moves nodes, so t.res stays valid.
+				t.sc.m.Protect(t.res)
+				if t.sc.m.NumNodes() > scratchGCThreshold {
+					t.sc.m.GC()
+				}
+				t.peak = t.sc.m.NumNodes()
+			}
+		}()
+	}
+	for _, t := range tasks {
+		ch <- t
+	}
+	close(ch)
+	wg.Wait()
+
+	res := bdd.False
+	scratchNodes := 0
+	for _, t := range tasks {
+		res = m.Or(res, t.sc.m.CopyTo(m, t.res))
+		t.sc.m.Unprotect(t.res) // swept by the arena's next in-worker GC
+		scratchNodes += t.peak
+		// Fold the arena's relational-product cache traffic into the main
+		// manager's counters so -stats stays truthful in parallel mode.
+		delta := t.sc.m.Stats
+		m.Stats.AndExistsCalls += delta.AndExistsCalls - t.stats0.AndExistsCalls
+		m.Stats.AndExistsLookups += delta.AndExistsLookups - t.stats0.AndExistsLookups
+		m.Stats.AndExistsHits += delta.AndExistsHits - t.stats0.AndExistsHits
+		s.relStats.ClusterSteps++
+		s.relStats.DisjunctSteps++
+	}
+	s.relStats.ParallelBatches++
+	if scratchNodes > s.relStats.ScratchPeakNodes {
+		s.relStats.ScratchPeakNodes = scratchNodes
+	}
+	s.noteLiveNodesExtra(scratchNodes)
+	return res
+}
+
+// reachableDisjunct is the disjunctive reachability sweep with
+// per-component frontier tracking: fed[i] is the set of states already
+// expanded through component i, and each round feeds component i only
+// reached ∖ fed[i]. Sequentially the components chain (states found by
+// an earlier component feed later components in the same round); with
+// workers the round expands every component from the same snapshot and
+// merges. Returns the reachable set and the number of rounds.
+func (s *Symbolic) reachableDisjunct() (bdd.Ref, int) {
+	m := s.M
+	d := s.disj
+	k := len(d.comps)
+	reached := m.Protect(s.Init)
+	fed := make([]bdd.Ref, k) // zero value bdd.False
+	id := m.OnReorder(func(translate func(bdd.Ref) bdd.Ref) {
+		reached = translate(reached)
+		for i := range fed {
+			fed[i] = translate(fed[i])
+		}
+	})
+	parallel := s.workers > 1 && k > 1
+	rounds := 0
+	for {
+		m.ReorderIfNeeded()
+		changed := false
+		if parallel {
+			args := make([]bdd.Ref, k)
+			for i := range d.comps {
+				args[i] = m.Diff(reached, fed[i])
+			}
+			snapshot := reached
+			img := s.ToCur(s.disjunctApply(args, false))
+			for i := range fed {
+				fed[i] = snapshot
+			}
+			next := m.Or(reached, img)
+			if next != reached {
+				changed = true
+				m.Unprotect(reached)
+				reached = m.Protect(next)
+			}
+		} else {
+			for i := range d.comps {
+				delta := m.Diff(reached, fed[i])
+				if delta == bdd.False {
+					continue
+				}
+				fed[i] = reached
+				args := make([]bdd.Ref, k)
+				args[i] = delta
+				img := s.ToCur(s.disjunctApplySeq(args, false))
+				next := m.Or(reached, img)
+				if next != reached {
+					changed = true
+					m.Unprotect(reached)
+					reached = m.Protect(next)
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+		rounds++
+		m.MaybeGC()
+	}
+	m.Unregister(id)
+	m.Unprotect(reached)
+	return reached, rounds
+}

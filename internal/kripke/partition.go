@@ -63,15 +63,24 @@ func (p *Partition) ImageOrder() []int {
 }
 
 // RelStats counts relational-product work on a Symbolic structure, for
-// both the monolithic and the partitioned path. PeakLiveNodes is the
-// manager's live-node high-water mark sampled at every image step (and
-// at every cluster step on the partitioned path), which is where the
-// intermediate-result blow-up of a bad schedule shows up.
+// the monolithic, conjunctive and disjunctive paths. PeakLiveNodes is
+// the manager's live-node high-water mark sampled at every image step
+// (and at every cluster/component step on the partitioned paths), which
+// is where the intermediate-result blow-up of a bad schedule shows up;
+// in parallel disjunctive batches the sample additionally includes the
+// scratch arenas' node counts, so the peak stays an honest measure of
+// total memory in play.
 type RelStats struct {
 	PreimageCalls uint64
 	ImageCalls    uint64
-	ClusterSteps  uint64 // AndExists chain links taken (0 on the monolithic path)
-	PeakLiveNodes int
+	ClusterSteps  uint64 // AndExists steps taken: chain links (conjunctive) + component products (disjunctive); 0 on the monolithic path
+	DisjunctSteps uint64 // component products taken by the disjunctive image (subset of ClusterSteps)
+	// ParallelBatches counts disjunctive image calls evaluated on worker
+	// goroutines; ScratchPeakNodes is the high-water mark of the summed
+	// scratch-arena sizes across such batches.
+	ParallelBatches  uint64
+	ScratchPeakNodes int
+	PeakLiveNodes    int
 }
 
 // RelStats returns the accumulated relational-product counters.
@@ -82,6 +91,14 @@ func (s *Symbolic) ResetRelStats() { s.relStats = RelStats{} }
 
 func (s *Symbolic) noteLiveNodes() {
 	if n := s.M.NumNodes(); n > s.relStats.PeakLiveNodes {
+		s.relStats.PeakLiveNodes = n
+	}
+}
+
+// noteLiveNodesExtra samples the peak with extra off-manager nodes
+// (the scratch arenas of a parallel disjunctive batch) added in.
+func (s *Symbolic) noteLiveNodesExtra(extra int) {
+	if n := s.M.NumNodes() + extra; n > s.relStats.PeakLiveNodes {
 		s.relStats.PeakLiveNodes = n
 	}
 }

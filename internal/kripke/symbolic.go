@@ -60,6 +60,9 @@ type Symbolic struct {
 
 	part     *Partition // optional conjunctive transition partition
 	partOff  bool       // EnablePartition(false): keep it but bypass it
+	disj     *Disjunct  // optional disjunctive transition partition
+	disjOn   bool       // EnableDisjunct(true): use the disjunctive image
+	workers  int        // goroutines for the disjunctive image (<=1: sequential)
 	relStats RelStats
 
 	hasSucc      bdd.Ref // cached ∃v′.Trans (IsTotal, DeadlockStates)
@@ -126,6 +129,19 @@ func (s *Symbolic) rewriteRefs(translate func(bdd.Ref) bdd.Ref) {
 			p.img.cubes[i] = translate(p.img.cubes[i])
 		}
 		p.img.free = translate(p.img.free)
+	}
+	if d := s.disj; d != nil {
+		for i := range d.comps {
+			c := &d.comps[i]
+			c.rel = translate(c.rel)
+			c.imgCube = translate(c.imgCube)
+			c.imgFree = translate(c.imgFree)
+			c.preCube = translate(c.preCube)
+			c.preFree = translate(c.preFree)
+		}
+		// The scratch arenas were minted with the pre-reorder variable
+		// order; their cached component copies are now misaligned.
+		d.invalidateScratch()
 	}
 }
 
@@ -256,21 +272,34 @@ func (s *Symbolic) AtomSet(f *ctl.Formula) (bdd.Ref, error) {
 }
 
 // Trans returns the monolithic transition relation R(v, v′). When the
-// structure was built through a conjunctive partition the monolithic
-// BDD is not constructed up front — the partitioned image computation
-// never needs it, and on large models the conjunction blows up — so it
-// is materialized from the clusters on first demand and cached.
+// structure was built through a partition — conjunctive clusters or
+// disjunctive components — the monolithic BDD is not constructed up
+// front: the partitioned image computations never need it, and on large
+// models it blows up. It is materialized on first demand and cached,
+// from the clusters when a conjunctive partition exists, otherwise as
+// the union of the disjunctive components.
 func (s *Symbolic) Trans() bdd.Ref {
 	if !s.transValid {
 		m := s.M
-		acc := m.Protect(bdd.True)
+		var acc bdd.Ref
 		if s.part != nil {
+			acc = m.Protect(bdd.True)
 			for _, c := range s.part.clusters {
 				next := m.Protect(m.And(acc, c))
 				m.Unprotect(acc)
 				acc = next
 				m.MaybeGC()
 			}
+		} else if s.disj != nil {
+			acc = m.Protect(bdd.False)
+			for i := range s.disj.comps {
+				next := m.Protect(m.Or(acc, s.disj.comps[i].rel))
+				m.Unprotect(acc)
+				acc = next
+				m.MaybeGC()
+			}
+		} else {
+			acc = m.Protect(bdd.True)
 		}
 		s.trans = acc
 		s.transValid = true
@@ -294,6 +323,9 @@ func (s *Symbolic) SetTrans(f bdd.Ref) {
 // product is computed cluster by cluster with early quantification.
 func (s *Symbolic) Image(from bdd.Ref) bdd.Ref {
 	s.relStats.ImageCalls++
+	if s.DisjunctEnabled() {
+		return s.imageDisjunct(from)
+	}
 	if s.PartitionEnabled() {
 		return s.imagePart(from)
 	}
@@ -311,6 +343,9 @@ func (s *Symbolic) Image(from bdd.Ref) bdd.Ref {
 // Preimage returns EX to: the set of states with some successor in to.
 func (s *Symbolic) Preimage(to bdd.Ref) bdd.Ref {
 	s.relStats.PreimageCalls++
+	if s.DisjunctEnabled() {
+		return s.preimageDisjunct(to)
+	}
 	if s.PartitionEnabled() {
 		return s.preimagePart(to)
 	}
@@ -340,6 +375,9 @@ func (s *Symbolic) hasSuccessors() bdd.Ref {
 // frontier iterations. Garbage is collected opportunistically between
 // frontier steps on large models.
 func (s *Symbolic) Reachable() (bdd.Ref, int) {
+	if s.DisjunctEnabled() {
+		return s.reachableDisjunct()
+	}
 	m := s.M
 	reached := m.Protect(s.Init)
 	frontier := m.Protect(s.Init)
@@ -427,16 +465,26 @@ func (s *Symbolic) HasEdge(from, to State) bool {
 		env[v.Cur] = from[i]
 		env[v.Next] = to[i]
 	}
-	// With a partition installed, evaluate the clusters pointwise — an
-	// edge is in the relation iff every conjunct accepts it — so trace
+	// With a partition installed, evaluate the factors pointwise — every
+	// conjunct must accept the edge, or some disjunct must — so trace
 	// validation never forces the monolithic BDD into existence.
-	if s.part != nil && !s.transValid {
-		for _, c := range s.part.clusters {
-			if !s.M.Eval(c, env) {
-				return false
+	if !s.transValid {
+		if s.part != nil {
+			for _, c := range s.part.clusters {
+				if !s.M.Eval(c, env) {
+					return false
+				}
 			}
+			return true
 		}
-		return true
+		if s.disj != nil {
+			for i := range s.disj.comps {
+				if s.M.Eval(s.disj.comps[i].rel, env) {
+					return true
+				}
+			}
+			return false
+		}
 	}
 	return s.M.Eval(s.Trans(), env)
 }

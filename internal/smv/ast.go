@@ -19,6 +19,12 @@ type Module struct {
 	Invars   []Expr // INVAR sections
 	Fairness []Expr // FAIRNESS sections
 	Specs    []*Spec
+
+	// Processes lists the process instance paths of a flattened program
+	// (empty for synchronous models). When non-empty the compiler emits a
+	// disjunctive transition component per scheduler value alongside the
+	// conjunctive clusters.
+	Processes []string
 }
 
 // VarDecl declares one state variable.

@@ -226,6 +226,11 @@ func Compile(m *Module) (*Compiled, error) {
 		}
 		c.S.SetTrans(rel)
 	}
+	if len(m.Processes) > 0 {
+		if err := c.emitDisjuncts(transClusters); err != nil {
+			return nil, err
+		}
+	}
 
 	for i, e := range m.Fairness {
 		b, err := c.evalBool(e, false)
@@ -239,6 +244,42 @@ func Compile(m *Module) (*Compiled, error) {
 	// in place (the structure's own hook covers everything else).
 	mgr.OnReorder(c.rewriteRefs)
 	return c, nil
+}
+
+// emitDisjuncts installs the disjunctive transition partition of an
+// interleaved (process) model: one component per scheduler value — the
+// synchronous core (_running = main) plus one per process — obtained by
+// Shannon expansion of the cluster conjunction on the scheduler
+// variable:
+//
+//	R = ⋁_s (guard_s ∧ ⋀_c c|guard_s)
+//
+// The guards are exhaustive over the valid scheduler encodings, and the
+// domain-validity invariant cluster zeroes the invalid ones in both
+// forms, so the union equals the conjunction exactly. Under a fixed
+// scheduler value every other process's assignment collapses to its
+// TRUE:v frame, which is what makes each component small. The
+// disjunctive path stays disabled until EnableDisjunct(true) (cmd/smv
+// -disjunctive); installation is cheap — k restricted products.
+func (c *Compiled) emitDisjuncts(transClusters []bdd.Ref) error {
+	info := c.Vars[schedulerVar]
+	if info == nil {
+		return &Error{Msg: "process model without scheduler variable"}
+	}
+	mgr := c.S.M
+	comps := make([]bdd.Ref, len(info.Values))
+	names := make([]string, len(info.Values))
+	for idx, v := range info.Values {
+		guard := c.encodeValue(info, idx, false)
+		comp := guard
+		for _, cl := range transClusters {
+			comp = mgr.And(comp, mgr.RestrictCube(cl, guard))
+		}
+		comps[idx] = comp
+		names[idx] = v.S
+	}
+	c.S.SetDisjuncts(comps, names)
+	return nil
 }
 
 // rewriteRefs is the compiled model's reorder hook.

@@ -117,6 +117,7 @@ func (prog Program) Flatten() (*Module, error) {
 			Name: schedulerVar,
 			Type: &Type{Kind: TypeEnum, Enum: append([]string{"main"}, fl.processes...)},
 		})
+		flat.Processes = fl.processes
 	}
 	if len(flat.Vars) == 0 {
 		return nil, &Error{Msg: "model declares no state variables"}

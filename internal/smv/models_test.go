@@ -22,6 +22,7 @@ func TestShippedModelsCompile(t *testing.T) {
 		"cache.smv":     {"AF c1.st = shared"},
 		"seitz.smv":     {"AF ta1.out", "AF ta2.out"},
 		"semaphore.smv": {"AF p1.in_cs"},
+		"ring.smv":      {"AG ! st1.in_cs"},
 	}
 	count := 0
 	for _, ent := range entries {
