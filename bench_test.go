@@ -892,6 +892,166 @@ func TestRecordReorderBench(t *testing.T) {
 	}
 }
 
+// --- BENCH_sift.json: rebuild vs in-place sifting engines -------------
+//
+// TestRecordSiftBench is gated behind BENCH_SIFT=1 and writes
+// BENCH_sift.json: the bounded bfs-10 partitioned workload on the
+// 6- and 8-cell scaled arbiters and the 8-station token ring, once per
+// sifting engine (the legacy rebuild-per-trial engine kept as oracle
+// and the in-place adjacent-level-swap engine that replaced it as
+// default). Both engines see identical growth triggers and budgets, so
+// the artifact isolates the cost of a reorder trial: O(arena) rebuilds
+// against O(two levels) swaps. Kept fast on purpose: the CI bench-smoke
+// job replays it and gates peak live nodes (25%) plus total reordering
+// wall time (generous 2x, cmd/benchgate -time-metric) against this
+// baseline.
+
+type siftBenchEntry struct {
+	Model          string  `json:"model"`
+	Cells          int     `json:"cells"`
+	Engine         string  `json:"engine"`
+	Workload       string  `json:"workload"`
+	WallMS         float64 `json:"wall_ms"`
+	PeakLiveNodes  int     `json:"peak_live_nodes"`
+	FinalLiveNodes int     `json:"final_live_nodes"`
+	SiftEvents     uint64  `json:"sift_events"`
+	SiftPasses     uint64  `json:"sift_passes,omitempty"`
+	SiftTrials     uint64  `json:"sift_trials,omitempty"`
+	SiftSwaps      uint64  `json:"sift_swaps,omitempty"`
+	SiftAborts     uint64  `json:"sift_aborts,omitempty"`
+	SiftTimeouts   uint64  `json:"sift_timeouts,omitempty"`
+	ReorderMS      float64 `json:"reorder_ms"`
+	NodesSaved     int64   `json:"nodes_saved,omitempty"`
+}
+
+func TestRecordSiftBench(t *testing.T) {
+	if os.Getenv("BENCH_SIFT") != "1" {
+		t.Skip("set BENCH_SIFT=1 to record BENCH_sift.json")
+	}
+	const (
+		gcThreshold  = 1 << 16 // same schedule as the partition/reorder benchmarks
+		boundedSteps = 10
+	)
+
+	run := func(bm benchModel, engine string) siftBenchEntry {
+		s, err := bm.compile()
+		if err != nil {
+			t.Fatalf("%s: %v", bm.name, err)
+		}
+		m := s.M
+		m.SetGCThreshold(gcThreshold)
+		opts := bdd.DefaultReorderOptions()
+		opts.UseRebuildSift = engine == "rebuild"
+		m.EnableAutoReorder(&opts)
+		m.GC()
+		s.ResetRelStats()
+		t0 := time.Now()
+		reached := m.Protect(s.Init)
+		frontier := m.Protect(s.Init)
+		id := m.RegisterRefs(&reached, &frontier)
+		for i := 0; i < boundedSteps && frontier != bdd.False; i++ {
+			img := s.Image(frontier)
+			m.Unprotect(frontier)
+			frontier = m.Protect(m.Diff(img, reached))
+			m.Unprotect(reached)
+			reached = m.Protect(m.Or(reached, frontier))
+			m.MaybeGC()
+		}
+		wall := time.Since(t0)
+		m.Unregister(id)
+		m.Unprotect(frontier)
+		m.Unprotect(reached)
+		rs := s.RelStats()
+		return siftBenchEntry{
+			Model:          bm.name,
+			Cells:          bm.cells,
+			Engine:         engine,
+			Workload:       fmt.Sprintf("bfs-%d", boundedSteps),
+			WallMS:         float64(wall.Microseconds()) / 1000,
+			PeakLiveNodes:  rs.PeakLiveNodes,
+			FinalLiveNodes: m.NumNodes(),
+			SiftEvents:     m.Stats.AutoReorders,
+			SiftPasses:     m.Stats.SiftPasses,
+			SiftTrials:     m.Stats.SiftTrials,
+			SiftSwaps:      m.Stats.SiftSwaps,
+			SiftAborts:     m.Stats.SiftAborts,
+			SiftTimeouts:   m.Stats.SiftTimeouts,
+			ReorderMS:      float64(m.Stats.ReorderTime.Microseconds()) / 1000,
+			NodesSaved:     m.Stats.ReorderSavedNodes,
+		}
+	}
+
+	models := []benchModel{}
+	for _, k := range []int{3, 4} {
+		k := k
+		models = append(models, benchModel{
+			name:    fmt.Sprintf("scaled-arbiter-k%d", k),
+			cells:   2 * k,
+			compile: func() (*kripke.Symbolic, error) { return circuit.ScaledArbiter(k).Compile() },
+		})
+	}
+	ringSrc := scaledRingSource(8)
+	models = append(models, benchModel{
+		name:  "scaled-ring-8",
+		cells: 8,
+		compile: func() (*kripke.Symbolic, error) {
+			c, err := smv.CompileSource(ringSrc)
+			if err != nil {
+				return nil, err
+			}
+			return c.S, nil
+		},
+	})
+
+	var entries []siftBenchEntry
+	for _, bm := range models {
+		rebuild := run(bm, "rebuild")
+		inPlace := run(bm, "in-place")
+		entries = append(entries, rebuild, inPlace)
+		t.Logf("%s: reorder %.1fms -> %.1fms (%.1fx), final live %d -> %d, %d swaps",
+			bm.name, rebuild.ReorderMS, inPlace.ReorderMS,
+			rebuild.ReorderMS/nonzero(inPlace.ReorderMS),
+			rebuild.FinalLiveNodes, inPlace.FinalLiveNodes, inPlace.SiftSwaps)
+	}
+
+	out, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_sift.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Acceptance (ISSUE 5): on the 8-cell arbiter bfs-10 workload the
+	// in-place engine must cut total reordering wall time by at least 5x
+	// against the rebuild engine at an equal-or-better final live-node
+	// count — the whole point of making trials O(two levels).
+	byKey := map[string]siftBenchEntry{}
+	for _, e := range entries {
+		byKey[e.Model+"/"+e.Engine] = e
+	}
+	reb, inp := byKey["scaled-arbiter-k4/rebuild"], byKey["scaled-arbiter-k4/in-place"]
+	if inp.SiftEvents == 0 || inp.SiftSwaps == 0 {
+		t.Errorf("8 cells: in-place engine recorded no sift work (events=%d swaps=%d)",
+			inp.SiftEvents, inp.SiftSwaps)
+	}
+	if inp.ReorderMS*5 > reb.ReorderMS {
+		t.Errorf("8 cells: in-place reordering %.1fms not 5x below rebuild %.1fms",
+			inp.ReorderMS, reb.ReorderMS)
+	}
+	if inp.FinalLiveNodes > reb.FinalLiveNodes {
+		t.Errorf("8 cells: in-place final live nodes %d worse than rebuild %d",
+			inp.FinalLiveNodes, reb.FinalLiveNodes)
+	}
+}
+
+func nonzero(v float64) float64 {
+	if v <= 0 {
+		return 1e-9
+	}
+	return v
+}
+
 // --- BENCH_disjunctive.json: the disjunctive-partitioning artifact ----
 //
 // TestRecordDisjunctiveBench is gated behind BENCH_DISJUNCTIVE=1 and

@@ -9,7 +9,16 @@
 // Usage:
 //
 //	benchgate -baseline BENCH_disjunctive.json -current new.json \
-//	          [-metric peak_live_nodes] [-max-regress 25]
+//	          [-metric peak_live_nodes] [-max-regress 25] \
+//	          [-time-metric reorder_ms] [-max-time-regress 100]
+//
+// -time-metric adds a second, simultaneous gate on a wall-time field.
+// Wall time on shared runners is noisy, so its default threshold is a
+// generous 2x (-max-time-regress 100) — the gate exists to catch
+// algorithmic collapses (an O(two levels) path regressing to O(arena)),
+// not percent-level jitter — and baselines under timeGateFloorMS are
+// skipped entirely, since a ratio over a near-zero baseline is all
+// noise.
 //
 // The artifact format is an array of flat JSON objects. An entry's
 // identity is the concatenation of its string- and bool-valued fields
@@ -72,14 +81,22 @@ func load(path string) ([]entry, error) {
 	return out, nil
 }
 
+// timeGateFloorMS: baselines faster than this are not time-gated; the
+// relative error of a couple of milliseconds of scheduler noise would
+// dominate any real signal.
+const timeGateFloorMS = 5.0
+
 func main() {
 	baselinePath := flag.String("baseline", "", "committed baseline BENCH_*.json")
 	currentPath := flag.String("current", "", "freshly recorded BENCH_*.json")
 	metric := flag.String("metric", "peak_live_nodes", "numeric field to gate on")
 	maxRegress := flag.Float64("max-regress", 25, "allowed regression in percent")
+	timeMetric := flag.String("time-metric", "", "optional wall-time field for a second gate (e.g. reorder_ms)")
+	maxTimeRegress := flag.Float64("max-time-regress", 100, "allowed regression on -time-metric in percent")
 	flag.Parse()
 	if *baselinePath == "" || *currentPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: benchgate -baseline old.json -current new.json [-metric f] [-max-regress pct]")
+		fmt.Fprintln(os.Stderr, "usage: benchgate -baseline old.json -current new.json "+
+			"[-metric f] [-max-regress pct] [-time-metric f] [-max-time-regress pct]")
 		os.Exit(2)
 	}
 
@@ -96,10 +113,26 @@ func main() {
 		byKey[key(e)] = e
 	}
 
+	failures := gate(baseline, byKey, *metric, *maxRegress, 0)
+	if *timeMetric != "" {
+		failures += gate(baseline, byKey, *timeMetric, *maxTimeRegress, timeGateFloorMS)
+	}
+	if failures > 0 {
+		fmt.Printf("\nbenchgate: %d entr%s regressed\n", failures, plural(failures))
+		os.Exit(1)
+	}
+	fmt.Printf("\nbenchgate: %d entries within %.0f%% of baseline on %s\n",
+		len(baseline), *maxRegress, *metric)
+}
+
+// gate compares one numeric field across all baseline entries and
+// returns the number of failures. Baseline values below floor are
+// skipped (0 = gate everything carrying the field).
+func gate(baseline []entry, byKey map[string]entry, metric string, maxRegress, floor float64) int {
 	failures := 0
 	for _, base := range baseline {
 		k := key(base)
-		baseVal, ok := base[*metric].(float64)
+		baseVal, ok := base[metric].(float64)
 		if !ok {
 			continue // entry does not carry the gated metric (e.g. a note-only row)
 		}
@@ -109,31 +142,30 @@ func main() {
 			failures++
 			continue
 		}
-		curVal, ok := cur[*metric].(float64)
+		if floor > 0 && baseVal < floor {
+			fmt.Printf("skipped  %s — %s baseline %.2f below gate floor %.0f\n",
+				describe(base), metric, baseVal, floor)
+			continue
+		}
+		curVal, ok := cur[metric].(float64)
 		if !ok {
-			fmt.Printf("MISSING  %s — current entry lost field %q\n", describe(base), *metric)
+			fmt.Printf("MISSING  %s — current entry lost field %q\n", describe(base), metric)
 			failures++
 			continue
 		}
-		limit := baseVal * (1 + *maxRegress/100)
+		limit := baseVal * (1 + maxRegress/100)
 		switch {
 		case curVal > limit:
 			fmt.Printf("REGRESS  %s — %s %.0f -> %.0f (limit %.0f, +%.1f%%)\n",
-				describe(base), *metric, baseVal, curVal, limit, 100*(curVal-baseVal)/baseVal)
+				describe(base), metric, baseVal, curVal, limit, 100*(curVal-baseVal)/baseVal)
 			failures++
 		case curVal < baseVal:
-			fmt.Printf("improved %s — %s %.0f -> %.0f\n", describe(base), *metric, baseVal, curVal)
+			fmt.Printf("improved %s — %s %.0f -> %.0f\n", describe(base), metric, baseVal, curVal)
 		default:
-			fmt.Printf("ok       %s — %s %.0f -> %.0f\n", describe(base), *metric, baseVal, curVal)
+			fmt.Printf("ok       %s — %s %.0f -> %.0f\n", describe(base), metric, baseVal, curVal)
 		}
 	}
-	if failures > 0 {
-		fmt.Printf("\nbenchgate: %d entr%s regressed beyond %.0f%% on %s\n",
-			failures, plural(failures), *maxRegress, *metric)
-		os.Exit(1)
-	}
-	fmt.Printf("\nbenchgate: %d entries within %.0f%% of baseline on %s\n",
-		len(baseline), *maxRegress, *metric)
+	return failures
 }
 
 // describe renders the human-readable identity of an entry.

@@ -34,3 +34,44 @@ func TestDescribeSkipsMissingFields(t *testing.T) {
 		t.Fatalf("describe = %q, want %q", got, want)
 	}
 }
+
+func index(es ...entry) map[string]entry {
+	out := make(map[string]entry, len(es))
+	for _, e := range es {
+		out[key(e)] = e
+	}
+	return out
+}
+
+func TestGateTimeMetricWithinThreshold(t *testing.T) {
+	base := []entry{{"model": "arbiter", "engine": "in-place", "reorder_ms": 100.0}}
+	cur := index(entry{"model": "arbiter", "engine": "in-place", "reorder_ms": 190.0})
+	if n := gate(base, cur, "reorder_ms", 100, timeGateFloorMS); n != 0 {
+		t.Fatalf("1.9x on a 2x threshold failed the gate (%d failures)", n)
+	}
+}
+
+func TestGateTimeMetricRegression(t *testing.T) {
+	base := []entry{{"model": "arbiter", "engine": "in-place", "reorder_ms": 100.0}}
+	cur := index(entry{"model": "arbiter", "engine": "in-place", "reorder_ms": 201.0})
+	if n := gate(base, cur, "reorder_ms", 100, timeGateFloorMS); n != 1 {
+		t.Fatalf("2.01x on a 2x threshold passed the gate (%d failures)", n)
+	}
+}
+
+func TestGateTimeMetricFloorSkipsNoise(t *testing.T) {
+	// A 1ms baseline that jumps to 50ms is scheduler noise, not signal:
+	// the floor must keep it out of the gate.
+	base := []entry{{"model": "ring", "engine": "rebuild", "reorder_ms": 1.0}}
+	cur := index(entry{"model": "ring", "engine": "rebuild", "reorder_ms": 50.0})
+	if n := gate(base, cur, "reorder_ms", 100, timeGateFloorMS); n != 0 {
+		t.Fatalf("sub-floor baseline was gated (%d failures)", n)
+	}
+}
+
+func TestGateMissingEntryStillFails(t *testing.T) {
+	base := []entry{{"model": "arbiter", "engine": "in-place", "reorder_ms": 100.0}}
+	if n := gate(base, index(), "reorder_ms", 100, timeGateFloorMS); n != 1 {
+		t.Fatalf("dropped entry passed the time gate (%d failures)", n)
+	}
+}

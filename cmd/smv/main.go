@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 
 	"repro/internal/bdd"
 	"repro/internal/core"
@@ -171,10 +172,18 @@ func main() {
 			checker.Stats.AndExistsHits, checker.Stats.AndExistsLookups)
 		fmt.Printf("witness ring steps: %d (restarts %d, %d single-state images)\n",
 			gen.Stats.RingSteps, gen.Stats.Restarts, gen.Stats.ImageCalls)
-		fmt.Printf("dynamic reordering: %d sift events (%d passes, %d trials, %d aborted), "+
+		fmt.Printf("dynamic reordering: %d sift events (%d passes, %d trials, %d swaps, %d aborted, %d timed out), "+
 			"%d nodes saved, %v total\n",
-			m.Stats.AutoReorders, m.Stats.SiftPasses, m.Stats.SiftTrials, m.Stats.SiftAborts,
+			m.Stats.AutoReorders, m.Stats.SiftPasses, m.Stats.SiftTrials, m.Stats.SiftSwaps,
+			m.Stats.SiftAborts, m.Stats.SiftTimeouts,
 			m.Stats.ReorderSavedNodes, m.Stats.ReorderTime)
+		if top := m.TopLevels(5); len(top) > 0 {
+			parts := make([]string, 0, len(top))
+			for _, lo := range top {
+				parts = append(parts, fmt.Sprintf("L%d(v%d)=%d", lo.Level, lo.Var, lo.Count))
+			}
+			fmt.Printf("fattest levels:     %s\n", strings.Join(parts, "  "))
+		}
 		fmt.Printf("checker reorders:   %d (%v during fixpoints)\n",
 			checker.Stats.Reorders, checker.Stats.ReorderTime)
 	}

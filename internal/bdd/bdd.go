@@ -20,6 +20,7 @@ package bdd
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 	"time"
 )
 
@@ -52,15 +53,27 @@ type node struct {
 	next uint32
 }
 
+// subtable is the unique table for a single level: an open hash with
+// per-node chaining through node.next. Keeping one table per level is
+// what makes an adjacent-level swap O(nodes at the two levels) — the
+// swap detaches exactly two subtables and never scans the arena — and
+// it gives exact per-level live counts (count) for free, which the
+// sift driver reads instead of walking nodes.
+type subtable struct {
+	buckets []uint32
+	mask    uint32
+	count   int // live nodes at this level
+}
+
 // Manager owns an arena of BDD nodes, the unique table that enforces
 // canonicity, and the operation caches. A Manager is not safe for
 // concurrent use.
 type Manager struct {
 	nodes []node
 
-	// unique table: open hash with per-node chaining through node.next.
-	buckets []uint32
-	mask    uint32
+	// unique table, split per level: tables[l] indexes the nodes whose
+	// lvl field is l. Terminals live in no table.
+	tables []subtable
 
 	free     uint32 // head of the free list (0 = empty; terminals never freed)
 	numFree  int
@@ -93,6 +106,10 @@ type Manager struct {
 	reordering   bool // true while a sift is running (reentrancy guard)
 	lastSiftSize int  // live nodes after the most recent sift
 
+	// sift is non-nil while an in-place swap session is active; it holds
+	// the liveness refcounts that swapLevels needs (see swap.go).
+	sift *siftState
+
 	gcThreshold int // run GC opportunistically above this many live nodes
 
 	// Stats accumulates counters since the Manager was created.
@@ -115,15 +132,22 @@ type Stats struct {
 	AndExistsLookups uint64
 	AndExistsHits    uint64
 
-	// Dynamic-reordering counters (see reorder.go). Reorderings counts
-	// every committed arena rebuild (including sift trials); AutoReorders
-	// counts growth-triggered sift events. ReorderSavedNodes sums the
-	// live-node reduction over all sifts and ReorderTime the wall time
-	// spent sifting.
+	// Dynamic-reordering counters (see reorder.go and swap.go).
+	// Reorderings counts committed order changes: every arena rebuild
+	// (explicit Reorder and rebuild-engine sift trials) plus every
+	// in-place sift event that ends on a different order than it
+	// started. AutoReorders counts growth-triggered sift events.
+	// SiftTrials counts candidate block positions evaluated, SiftSwaps
+	// the adjacent-level swaps executed, SiftTimeouts the sift events
+	// cut short by ReorderOptions.SiftMaxTime. ReorderSavedNodes sums
+	// the live-node reduction over all sifts and ReorderTime the wall
+	// time spent sifting.
 	AutoReorders      uint64
 	SiftPasses        uint64
 	SiftTrials        uint64
 	SiftAborts        uint64
+	SiftSwaps         uint64
+	SiftTimeouts      uint64
 	ReorderSavedNodes int64
 	ReorderTime       time.Duration
 }
@@ -142,9 +166,9 @@ type binEntry struct {
 
 // Cache/bucket sizing.
 const (
-	initialBuckets = 1 << 12
-	iteCacheSize   = 1 << 16
-	binCacheSize   = 1 << 16
+	initialLevelBuckets = 1 << 6 // per-level subtable start size
+	iteCacheSize        = 1 << 16
+	binCacheSize        = 1 << 16
 )
 
 // New creates a Manager with numVars variables, numbered 0..numVars-1.
@@ -155,8 +179,6 @@ func New(numVars int) *Manager {
 		panic("bdd: negative variable count")
 	}
 	m := &Manager{
-		buckets:     make([]uint32, initialBuckets),
-		mask:        initialBuckets - 1,
 		ite:         make([]iteEntry, iteCacheSize),
 		binop:       make([]binEntry, binCacheSize),
 		roots:       make(map[Ref]int),
@@ -179,7 +201,54 @@ func (m *Manager) AddVar() int {
 	v := len(m.var2level)
 	m.var2level = append(m.var2level, v)
 	m.level2var = append(m.level2var, v)
+	m.tables = append(m.tables, newSubtable(initialLevelBuckets))
 	return v
+}
+
+// newSubtable returns an empty subtable with the given power-of-two
+// bucket count.
+func newSubtable(size int) subtable {
+	return subtable{buckets: make([]uint32, size), mask: uint32(size - 1)}
+}
+
+// LevelCounts returns the current number of live nodes at each level
+// (index = level). The counts are maintained incrementally by mk, GC
+// and the in-place swap, so this is O(levels), not O(arena).
+func (m *Manager) LevelCounts() []int {
+	out := make([]int, len(m.tables))
+	for i := range m.tables {
+		out[i] = m.tables[i].count
+	}
+	return out
+}
+
+// LevelOccupancy pairs a level with the variable placed there and its
+// live-node count.
+type LevelOccupancy struct {
+	Level int
+	Var   int
+	Count int
+}
+
+// TopLevels returns the k levels holding the most live nodes, fattest
+// first (ties broken by level). Levels with zero nodes are omitted.
+func (m *Manager) TopLevels(k int) []LevelOccupancy {
+	all := make([]LevelOccupancy, 0, len(m.tables))
+	for l := range m.tables {
+		if c := m.tables[l].count; c > 0 {
+			all = append(all, LevelOccupancy{Level: l, Var: m.level2var[l], Count: c})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Level < all[j].Level
+	})
+	if k < len(all) {
+		all = all[:k]
+	}
+	return all
 }
 
 // NumVars returns the number of variables managed.
@@ -245,26 +314,28 @@ func (m *Manager) Low(f Ref) Ref { return m.nodes[f].low }
 // High returns the then-branch (variable true) of f.
 func (m *Manager) High(f Ref) Ref { return m.nodes[f].high }
 
-// hash mixes the triple identifying a node into a bucket index.
-func (m *Manager) hash(lvl uint32, low, high Ref) uint32 {
-	x := uint64(lvl)*0x9e3779b97f4a7c15 ^ uint64(low)*0xbf58476d1ce4e5b9 ^ uint64(high)*0x94d049bb133111eb
+// hash2 mixes a node's child pair into a bucket index. The level is not
+// part of the hash: each level has its own table.
+func hash2(low, high Ref, mask uint32) uint32 {
+	x := uint64(low)*0xbf58476d1ce4e5b9 ^ uint64(high)*0x94d049bb133111eb
 	x ^= x >> 29
 	x *= 0xbf58476d1ce4e5b9
 	x ^= x >> 32
-	return uint32(x) & m.mask
+	return uint32(x) & mask
 }
 
 // mk returns the canonical node (lvl, low, high), applying the reduction
 // rules: equal children collapse, and structurally identical nodes are
-// shared through the unique table.
+// shared through the level's unique subtable.
 func (m *Manager) mk(lvl uint32, low, high Ref) Ref {
 	if low == high {
 		return low
 	}
-	b := m.hash(lvl, low, high)
-	for i := m.buckets[b]; i != 0; i = m.nodes[i].next {
+	st := &m.tables[lvl]
+	b := hash2(low, high, st.mask)
+	for i := st.buckets[b]; i != 0; i = m.nodes[i].next {
 		n := &m.nodes[i]
-		if n.lvl&^markBit == lvl && n.low == low && n.high == high {
+		if n.low == low && n.high == high {
 			return Ref(i)
 		}
 	}
@@ -277,42 +348,66 @@ func (m *Manager) mk(lvl uint32, low, high Ref) Ref {
 		idx = uint32(len(m.nodes))
 		m.nodes = append(m.nodes, node{})
 	}
-	m.nodes[idx] = node{lvl: lvl, low: low, high: high, next: m.buckets[b]}
-	m.buckets[b] = idx
+	m.nodes[idx] = node{lvl: lvl, low: low, high: high, next: st.buckets[b]}
+	st.buckets[b] = idx
+	st.count++
 	m.numAlloc++
-	if m.numAlloc > len(m.buckets)*3 {
-		m.growBuckets()
+	if st.count > len(st.buckets)*3 {
+		m.growSubtable(st)
 	}
 	return Ref(idx)
 }
 
-// growBuckets doubles the unique table and rehashes every live node.
-func (m *Manager) growBuckets() {
-	newSize := len(m.buckets) * 2
-	m.buckets = make([]uint32, newSize)
-	m.mask = uint32(newSize - 1)
-	m.rehashAll()
+// growSubtable doubles one level's table and rehashes its chains. Only
+// the nodes at that level are touched — growth never scans the arena.
+func (m *Manager) growSubtable(st *subtable) {
+	old := st.buckets
+	st.buckets = make([]uint32, len(old)*2)
+	st.mask = uint32(len(st.buckets) - 1)
+	for _, head := range old {
+		for i := head; i != 0; {
+			n := &m.nodes[i]
+			next := n.next
+			b := hash2(n.low, n.high, st.mask)
+			n.next = st.buckets[b]
+			st.buckets[b] = i
+			i = next
+		}
+	}
 }
 
-// rehashAll rebuilds the unique-table chains from scratch. Free-list
-// nodes are identified by walking the free list first.
-func (m *Manager) rehashAll() {
-	onFree := make(map[uint32]bool, m.numFree)
-	for i := m.free; i != 0; i = m.nodes[i].next {
-		onFree[i] = true
+// insertNode links node i into the subtable of its (already set) level
+// and bumps the level's live count.
+func (m *Manager) insertNode(i uint32) {
+	n := &m.nodes[i]
+	st := &m.tables[n.lvl]
+	b := hash2(n.low, n.high, st.mask)
+	n.next = st.buckets[b]
+	st.buckets[b] = i
+	st.count++
+	if st.count > len(st.buckets)*3 {
+		m.growSubtable(st)
 	}
-	for i := range m.buckets {
-		m.buckets[i] = 0
-	}
-	for i := 2; i < len(m.nodes); i++ {
-		if onFree[uint32(i)] {
-			continue
+}
+
+// unlinkNode removes node i from its level's subtable.
+func (m *Manager) unlinkNode(i uint32) {
+	n := &m.nodes[i]
+	st := &m.tables[n.lvl]
+	b := hash2(n.low, n.high, st.mask)
+	if st.buckets[b] == i {
+		st.buckets[b] = n.next
+	} else {
+		j := st.buckets[b]
+		for j != 0 && m.nodes[j].next != i {
+			j = m.nodes[j].next
 		}
-		n := &m.nodes[i]
-		b := m.hash(n.lvl&^markBit, n.low, n.high)
-		n.next = m.buckets[b]
-		m.buckets[b] = uint32(i)
+		if j == 0 {
+			panic("bdd: unlinkNode: node not in its level's table")
+		}
+		m.nodes[j].next = n.next
 	}
+	st.count--
 }
 
 // Protect registers f as an external root so that garbage collection

@@ -22,35 +22,50 @@ func (m *Manager) GC() int {
 			return r
 		})
 	}
-	// Sweep: rebuild the free list and the unique table.
+	// Sweep: rebuild the free list and every level's subtable (counts
+	// are recomputed from scratch as live nodes are reinserted).
 	freed := 0
 	m.free = 0
 	m.numFree = 0
-	for i := range m.buckets {
-		m.buckets[i] = 0
+	for l := range m.tables {
+		st := &m.tables[l]
+		for i := range st.buckets {
+			st.buckets[i] = 0
+		}
+		st.count = 0
 	}
 	alive := 2 // terminals
 	for i := len(m.nodes) - 1; i >= 2; i-- {
 		n := &m.nodes[i]
 		if n.lvl&markBit != 0 {
 			n.lvl &^= markBit
-			b := m.hash(n.lvl, n.low, n.high)
-			n.next = m.buckets[b]
-			m.buckets[b] = uint32(i)
+			st := &m.tables[n.lvl]
+			b := hash2(n.low, n.high, st.mask)
+			n.next = st.buckets[b]
+			st.buckets[b] = uint32(i)
+			st.count++
 			alive++
 		} else {
+			if n.lvl != terminalLevel {
+				freed++ // was live; slots already on the free list are just relinked
+			}
 			n.lvl = terminalLevel // defensive: freed nodes look terminal-ish
 			n.low = False
 			n.high = False
 			n.next = m.free
 			m.free = uint32(i)
 			m.numFree++
-			freed++
 		}
 	}
 	m.numAlloc = alive
 	m.Stats.NodesFreed += uint64(freed)
-	m.clearCaches()
+	if freed > 0 {
+		// A collection that freed nothing invalidated nothing: every
+		// cached Ref still denotes the same live node, so the caches
+		// stay warm (this keeps a no-op sift event from costing the
+		// whole Apply cache).
+		m.clearCaches()
+	}
 	return freed
 }
 

@@ -14,8 +14,9 @@ import "fmt"
 //     strictly increasing levels on every path (child level > node
 //     level), and is reduced (low != high);
 //   - no node carries a GC mark bit outside a collection;
-//   - the unique table contains every live node exactly once, in the
-//     bucket its triple hashes to, with no duplicate triples;
+//   - the unique table contains every live node exactly once, in its
+//     own level's subtable in the bucket its child pair hashes to, with
+//     no duplicate triples and exact per-level live counts;
 //   - no operation-cache entry (ITE, binary, AndExists, permutation)
 //     mentions a freed or out-of-arena node — in particular there are no
 //     stale entries after a reorder, which clears all caches.
@@ -93,38 +94,52 @@ func CheckInvariants(m *Manager) error {
 		}
 	}
 
-	// Unique table.
-	type triple struct {
-		lvl       uint32
-		low, high Ref
+	// Unique table: one subtable per level, each node chained in its own
+	// level's table under the hash of its child pair, per-level counts
+	// exact, and the counts summing to the live non-terminal population.
+	if len(m.tables) != len(m.level2var) {
+		return fmt.Errorf("bdd: %d subtables for %d levels", len(m.tables), len(m.level2var))
 	}
-	seen := make(map[triple]uint32, m.numAlloc)
+	type pair struct{ low, high Ref }
 	chained := 0
-	for b := range m.buckets {
-		steps := 0
-		for i := m.buckets[b]; i != 0; i = m.nodes[i].next {
-			if int(i) >= n {
-				return fmt.Errorf("bdd: bucket %d chains to node %d outside arena", b, i)
-			}
-			if onFree[i] {
-				return fmt.Errorf("bdd: bucket %d chains to freed node %d", b, i)
-			}
-			nd := m.nodes[i]
-			tr := triple{nd.lvl &^ markBit, nd.low, nd.high}
-			if m.hash(tr.lvl, tr.low, tr.high) != uint32(b) {
-				return fmt.Errorf("bdd: node %d (lvl %d, %d, %d) chained in bucket %d, hashes to %d",
-					i, tr.lvl, tr.low, tr.high, b, m.hash(tr.lvl, tr.low, tr.high))
-			}
-			if prev, dup := seen[tr]; dup {
-				return fmt.Errorf("bdd: duplicate unique-table triple (lvl %d, %d, %d): nodes %d and %d",
-					tr.lvl, tr.low, tr.high, prev, i)
-			}
-			seen[tr] = uint32(i)
-			chained++
-			if steps++; steps > n {
-				return fmt.Errorf("bdd: bucket %d chain does not terminate", b)
+	for l := range m.tables {
+		st := &m.tables[l]
+		seen := make(map[pair]uint32, st.count)
+		inLevel := 0
+		for b := range st.buckets {
+			steps := 0
+			for i := st.buckets[b]; i != 0; i = m.nodes[i].next {
+				if int(i) >= n {
+					return fmt.Errorf("bdd: level %d bucket %d chains to node %d outside arena", l, b, i)
+				}
+				if onFree[i] {
+					return fmt.Errorf("bdd: level %d bucket %d chains to freed node %d", l, b, i)
+				}
+				nd := m.nodes[i]
+				if nd.lvl&^markBit != uint32(l) {
+					return fmt.Errorf("bdd: node %d at level %d chained in level %d's table",
+						i, nd.lvl&^markBit, l)
+				}
+				tr := pair{nd.low, nd.high}
+				if hash2(tr.low, tr.high, st.mask) != uint32(b) {
+					return fmt.Errorf("bdd: node %d (lvl %d, %d, %d) chained in bucket %d, hashes to %d",
+						i, l, tr.low, tr.high, b, hash2(tr.low, tr.high, st.mask))
+				}
+				if prev, dup := seen[tr]; dup {
+					return fmt.Errorf("bdd: duplicate unique-table triple (lvl %d, %d, %d): nodes %d and %d",
+						l, tr.low, tr.high, prev, i)
+				}
+				seen[tr] = uint32(i)
+				inLevel++
+				if steps++; steps > n {
+					return fmt.Errorf("bdd: level %d bucket %d chain does not terminate", l, b)
+				}
 			}
 		}
+		if inLevel != st.count {
+			return fmt.Errorf("bdd: level %d table chains %d nodes, count says %d", l, inLevel, st.count)
+		}
+		chained += inLevel
 	}
 	if chained != m.numAlloc-2 {
 		return fmt.Errorf("bdd: unique table holds %d nodes, expected %d live non-terminals",

@@ -8,21 +8,36 @@ import (
 
 // Variable reordering.
 //
-// Reordering is rebuild-based: the manager translates every root it must
-// preserve into a fresh arena under the new order and swaps the arena in.
-// What makes it *dynamic* (usable mid-computation rather than only
-// offline) is the live-root registry: long-lived holders of Refs —
+// Two engines share this file's policy layer:
+//
+//   - The rebuild engine (reorderTo) translates every root it must
+//     preserve into a fresh arena under the new order and swaps the
+//     arena in. It serves explicit Reorder(order) calls, group-adjacency
+//     normalization, and acts as the differential oracle for the swap
+//     engine. A rebuild is O(arena).
+//
+//   - The in-place engine (swap.go) realizes sifting as sequences of
+//     adjacent-level swaps, each touching only the nodes at the two
+//     swapped levels and preserving every other Ref bit-for-bit. It is
+//     the default behind SiftNow/EnableAutoReorder; set
+//     ReorderOptions.UseRebuildSift to fall back to the rebuild engine.
+//
+// What makes reordering *dynamic* (usable mid-computation rather than
+// only offline) is the live-root registry: long-lived holders of Refs —
 // symbolic structures, checkers, saved witness rings — register a
 // rewriter callback (OnReorder) or plain pointers (RegisterRefs), and
-// every committed reorder rewrites their Refs in place. Registered refs
-// are also treated as GC roots, so a registered local survives both a
-// collection and a reorder.
+// every committed reorder rewrites their Refs in place (after an
+// in-place sift the translation is the identity — the hook still fires
+// so downstream caches invalidate on the same schedule). Registered
+// refs are also treated as GC roots, so a registered local survives
+// both a collection and a reorder.
 //
 // Sifting moves one block at a time: each GroupVars block (typically a
 // current/next state-variable pair) travels as a unit, tried at every
 // candidate position with the placement minimizing the live-node count
-// kept. Trials whose rebuild exceeds MaxGrowth times the best size so
-// far are aborted mid-translation, leaving the manager untouched.
+// kept. Trials growing past MaxGrowth times the best size so far are
+// abandoned (the rebuild engine aborts mid-translation; the swap engine
+// stops walking in that direction and returns to the best position).
 //
 // Automatic reordering is growth-triggered: ReorderIfNeeded — called at
 // safe points where every needed Ref is registered or protected — sifts
@@ -127,6 +142,15 @@ type ReorderOptions struct {
 	// Window: try positions at most this far from a block's current one
 	// (0 = every position).
 	Window int
+	// SiftMaxTime bounds the wall time of one sift event. The in-place
+	// engine checks it at swap granularity: when the budget runs out the
+	// block being sifted still returns to its best position, the event
+	// ends cleanly, and Stats.SiftTimeouts is bumped. 0 = no bound.
+	SiftMaxTime time.Duration
+	// UseRebuildSift routes SiftNow through the legacy rebuild engine
+	// (every trial re-translates the arena) instead of in-place swaps.
+	// Kept as a differential oracle and benchmark baseline.
+	UseRebuildSift bool
 }
 
 // DefaultReorderOptions returns the default automatic-sifting policy.
@@ -239,20 +263,25 @@ func (m *Manager) validateOrder(order []int) {
 }
 
 // freshForReorder allocates a bare arena for a rebuild under the given
-// order: unique table pre-sized to the live count, a small ITE cache for
-// composeVar's out-of-order fallback, and nothing else — trial rebuilds
-// during sifting are frequent and must not allocate the full caches.
+// order: per-level subtables pre-sized to the mean level population, a
+// small ITE cache for composeVar's out-of-order fallback, and nothing
+// else — trial rebuilds during sifting are frequent and must not
+// allocate the full caches.
 func (m *Manager) freshForReorder(order []int) *Manager {
-	bsize := 1 << 10
-	for bsize*2 < m.numAlloc {
-		bsize <<= 1
+	per := 1 << 4
+	if len(order) > 0 {
+		for per*len(order)*2 < m.numAlloc {
+			per <<= 1
+		}
 	}
 	fresh := &Manager{
-		buckets:   make([]uint32, bsize),
-		mask:      uint32(bsize - 1),
 		ite:       make([]iteEntry, 1<<14),
 		var2level: make([]int, len(order)),
 		level2var: make([]int, len(order)),
+		tables:    make([]subtable, len(order)),
+	}
+	for l := range fresh.tables {
+		fresh.tables[l] = newSubtable(per)
 	}
 	fresh.nodes = make([]node, 2, m.numAlloc+2)
 	fresh.nodes[0] = node{lvl: terminalLevel, low: False, high: False}
@@ -345,8 +374,7 @@ func (m *Manager) reorderTo(order []int, extra []Ref, budget int) ([]Ref, bool) 
 		newRoots[lookup(r)] += c
 	}
 	m.nodes = fresh.nodes
-	m.buckets = fresh.buckets
-	m.mask = fresh.mask
+	m.tables = fresh.tables
 	m.free = fresh.free
 	m.numFree = fresh.numFree
 	m.numAlloc = fresh.numAlloc
@@ -410,6 +438,8 @@ func (m *Manager) Sift(roots []Ref) []Ref {
 // SiftNow runs converging block-sifting passes until the improvement
 // drops below MinImprove or MaxPasses is reached. Garbage is collected
 // first, so every Ref the caller needs must be protected or registered.
+// The in-place swap engine runs unless UseRebuildSift selects the
+// legacy rebuild engine.
 func (m *Manager) SiftNow() {
 	if m.reordering || m.NumVars() <= 1 {
 		return
@@ -426,18 +456,30 @@ func (m *Manager) SiftNow() {
 	if norm := flattenBlocks(m.blockOrder()); !equalOrder(norm, m.level2var) {
 		m.reorderTo(norm, nil, 0)
 	}
-	size := m.numAlloc
-	for pass := 0; pass < opts.MaxPasses; pass++ {
-		m.Stats.SiftPasses++
-		prev := size
-		size = m.siftPass(&opts)
-		if prev-size < int(opts.MinImprove*float64(prev)) {
-			break
-		}
+	if opts.UseRebuildSift {
+		m.siftNowRebuild(&opts)
+	} else {
+		m.siftNowSwap(&opts)
 	}
 	m.lastSiftSize = m.numAlloc
 	m.Stats.ReorderTime += time.Since(start)
 	m.Stats.ReorderSavedNodes += int64(before - m.numAlloc)
+}
+
+// siftNowRebuild is the legacy engine: every placement trial rebuilds
+// the arena under the candidate order. O(arena × trials); kept behind
+// UseRebuildSift as differential oracle and benchmark baseline. It
+// ignores SiftMaxTime (its trial granularity is a whole rebuild).
+func (m *Manager) siftNowRebuild(opts *ReorderOptions) {
+	size := m.numAlloc
+	for pass := 0; pass < opts.MaxPasses; pass++ {
+		m.Stats.SiftPasses++
+		prev := size
+		size = m.siftPass(opts)
+		if prev-size < int(opts.MinImprove*float64(prev)) {
+			break
+		}
+	}
 }
 
 // blockOrder returns the sifting blocks in current level order: each
