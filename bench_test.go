@@ -1045,6 +1045,102 @@ func TestRecordSiftBench(t *testing.T) {
 	}
 }
 
+// --- BENCH_ltl.json: the LTL tableau-product artifact -----------------
+//
+// TestRecordLTLBench is gated behind BENCH_LTL=1 and writes
+// BENCH_ltl.json: every LTLSPEC of the ABP and Peterson scenario models
+// is checked through the tableau product, recording wall time, peak
+// live BDD nodes, tableau size (promise variables, generalized-Büchi
+// sets, clusters) and counterexample lasso lengths. Verdicts are
+// asserted against the scenarioVerdicts tables so a broken product
+// cannot silently record a fast-but-wrong run. Kept fast on purpose:
+// the CI bench-smoke job replays it on every push and gates peak live
+// nodes against this baseline (cmd/benchgate).
+
+type ltlBenchEntry struct {
+	Model         string  `json:"model"`
+	Spec          string  `json:"spec"`
+	Holds         bool    `json:"holds"`
+	WallMS        float64 `json:"wall_ms"`
+	PeakLiveNodes int     `json:"peak_live_nodes"`
+	TableauVars   int     `json:"tableau_vars"`
+	FairnessSets  int     `json:"fairness_sets"`
+	Clusters      int     `json:"clusters"`
+	LassoStem     int     `json:"lasso_stem,omitempty"`
+	LassoCycle    int     `json:"lasso_cycle,omitempty"`
+}
+
+func TestRecordLTLBench(t *testing.T) {
+	if os.Getenv("BENCH_LTL") != "1" {
+		t.Skip("set BENCH_LTL=1 to record BENCH_ltl.json")
+	}
+	const gcThreshold = 1 << 16 // same schedule as the other artifacts
+
+	var entries []ltlBenchEntry
+	for _, name := range []string{"abp.smv", "peterson.smv"} {
+		src, err := os.ReadFile("models/" + name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		module, err := smv.ParseModule(string(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := scenarioVerdicts[name]
+		if len(module.LTLSpecs) != len(want.ltl) {
+			t.Fatalf("%s: %d LTLSPECs but %d expected verdicts", name, len(module.LTLSpecs), len(want.ltl))
+		}
+		for i, sp := range module.LTLSpecs {
+			p, err := smv.CompileLTL(module, sp.Formula, sp.Source)
+			if err != nil {
+				t.Fatalf("%s %s: %v", name, sp.Source, err)
+			}
+			p.S.M.SetGCThreshold(gcThreshold)
+			p.S.M.GC()
+			p.S.ResetRelStats()
+			t0 := time.Now()
+			ch := mc.New(p.S)
+			holds, tr, err := p.Check(ch)
+			wall := time.Since(t0)
+			if err != nil {
+				t.Fatalf("%s %s: %v", name, sp.Source, err)
+			}
+			if holds != want.ltl[i] {
+				t.Fatalf("%s %s: got %v, want %v — refusing to record a wrong run",
+					name, sp.Source, holds, want.ltl[i])
+			}
+			e := ltlBenchEntry{
+				Model:         name,
+				Spec:          sp.Formula.String(),
+				Holds:         holds,
+				WallMS:        float64(wall.Microseconds()) / 1000,
+				PeakLiveNodes: p.S.RelStats().PeakLiveNodes,
+				TableauVars:   len(p.ElemVars),
+				FairnessSets:  len(p.S.Fair),
+				Clusters:      p.S.NumClusters(),
+			}
+			if tr != nil {
+				if err := p.ReplayCounterexample(tr); err != nil {
+					t.Fatalf("%s %s: %v", name, sp.Source, err)
+				}
+				e.LassoStem = tr.CycleStart
+				e.LassoCycle = len(tr.States) - tr.CycleStart
+			}
+			ch.Close()
+			entries = append(entries, e)
+		}
+	}
+
+	out, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_ltl.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_ltl.json with %d entries", len(entries))
+}
+
 func nonzero(v float64) float64 {
 	if v <= 0 {
 		return 1e-9

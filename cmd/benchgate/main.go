@@ -171,7 +171,7 @@ func gate(baseline []entry, byKey map[string]entry, metric string, maxRegress, f
 // describe renders the human-readable identity of an entry.
 func describe(e entry) string {
 	parts := []string{}
-	for _, k := range []string{"model", "mode", "workload", "cells", "workers"} {
+	for _, k := range []string{"model", "spec", "mode", "workload", "cells", "workers"} {
 		switch v := e[k].(type) {
 		case string:
 			parts = append(parts, v)

@@ -6,11 +6,19 @@
 // Usage:
 //
 //	smv [-stats] [-delta] [-reachable] [-witness] [-compact] [-tree]
-//	    [-reorder] [-disjunctive] [-workers N] [-simulate N -seed S] model.smv
+//	    [-reorder] [-disjunctive] [-workers N] [-ltl "formula"]
+//	    [-simulate N -seed S] model.smv
+//
+// Besides SPEC (CTL) sections the input may contain LTLSPEC sections;
+// each is checked by compiling the model in product with the Büchi
+// tableau of the negated formula and testing fair emptiness. Failing
+// LTL specifications produce a fair lasso (stem + cycle) over the model
+// variables.
 //
 // Flags:
 //
 //	-stats       print BDD and fixpoint statistics after checking
+//	-ltl F       check LTL formula F in addition to the model's LTLSPECs
 //	-reorder     enable dynamic variable reordering (growth-triggered sifting)
 //	-disjunctive use the disjunctive (per-process) image on interleaved models
 //	-workers N   evaluate disjunctive components on N goroutines
@@ -33,6 +41,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ctl"
 	"repro/internal/kripke"
+	"repro/internal/ltl"
 	"repro/internal/mc"
 	"repro/internal/smv"
 )
@@ -46,6 +55,7 @@ func main() {
 	tree := flag.Bool("tree", false, "print counterexamples as explanation trees")
 	simulate := flag.Int("simulate", 0, "print a random execution of N steps instead of checking")
 	seed := flag.Int64("seed", 1, "random seed for -simulate")
+	ltlSpec := flag.String("ltl", "", "check an LTL formula in addition to the model's LTLSPEC sections")
 	reorder := flag.Bool("reorder", false, "enable dynamic variable reordering")
 	disjunctive := flag.Bool("disjunctive", false, "use the disjunctive (per-process) image on interleaved models")
 	workers := flag.Int("workers", 1, "worker goroutines for the disjunctive image")
@@ -60,7 +70,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	compiled, err := smv.CompileSource(string(src))
+	module, err := smv.ParseModule(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	compiled, err := smv.Compile(module)
 	if err != nil {
 		fatal(err)
 	}
@@ -145,6 +159,62 @@ func main() {
 		}
 		fmt.Println("-- as demonstrated by the following execution sequence:")
 		printTrace(compiled, tr, *delta)
+	}
+
+	// LTL specifications: each check compiles a fresh product of the
+	// model with the tableau of the negated formula (own BDD manager, so
+	// the per-check flags apply independently).
+	ltlSpecs := append([]*smv.LTLSpec(nil), module.LTLSpecs...)
+	if *ltlSpec != "" {
+		f, err := ltl.Parse(*ltlSpec)
+		if err != nil {
+			fatal(err)
+		}
+		ltlSpecs = append(ltlSpecs, &smv.LTLSpec{Source: *ltlSpec, Formula: f})
+	}
+	for _, sp := range ltlSpecs {
+		fmt.Printf("-- LTL specification %s ", sp.Source)
+		p, err := smv.CompileLTL(module, sp.Formula, sp.Source)
+		if err != nil {
+			fmt.Printf("ERROR: %v\n", err)
+			exitCode = 2
+			continue
+		}
+		if *reorder {
+			p.S.M.EnableAutoReorder(nil)
+		}
+		if *disjunctive && p.S.NumDisjuncts() > 0 {
+			p.S.EnableDisjunct(true)
+		}
+		p.S.SetWorkers(*workers)
+		ch := mc.New(p.S)
+		holds, tr, err := p.Check(ch)
+		if err != nil {
+			fmt.Printf("ERROR: %v\n", err)
+			exitCode = 2
+			ch.Close()
+			continue
+		}
+		if holds {
+			fmt.Println("is true")
+		} else {
+			fmt.Println("is false")
+			exitCode = 1
+			if err := p.ReplayCounterexample(tr); err != nil {
+				fmt.Fprintf(os.Stderr, "warning: counterexample replay failed: %v\n", err)
+				exitCode = 2
+			}
+			fmt.Println("-- as demonstrated by the following fair execution sequence:")
+			printTrace(p.Compiled, tr, *delta)
+		}
+		if *stats {
+			rel := p.S.RelStats()
+			fmt.Printf("-- LTL product: %d tableau variables, %d fairness sets, %d clusters, "+
+				"%d live nodes (peak %d in chains), %d fair-EG outer iterations\n",
+				len(p.ElemVars), len(p.S.Fair), p.S.NumClusters(),
+				p.S.M.NumNodes(), rel.PeakLiveNodes, ch.Stats.FairEGOuter)
+		}
+		ch.Close()
 	}
 
 	if *stats {

@@ -135,6 +135,59 @@ func compareDisjunctiveToMonolithic(t *testing.T, src string, workers int) {
 			checkedTraces++
 		}
 	}
+	// LTLSPECs run through the tableau product on both image paths:
+	// verdicts must agree, and each path's fair lasso must validate
+	// against the other path's product structure and falsify the
+	// formula under the explicit-state replay oracle.
+	for _, sp := range dis.Module.LTLSpecs {
+		pD, err := smv.CompileLTL(dis.Module, sp.Formula, sp.Source)
+		if err != nil {
+			t.Fatalf("LTLSPEC %s: %v", sp.Source, err)
+		}
+		if pD.S.NumDisjuncts() == 0 {
+			t.Fatalf("LTLSPEC %s: product lost the disjunctive components", sp.Source)
+		}
+		pD.S.EnableDisjunct(true)
+		pD.S.SetWorkers(workers)
+		pM, err := smv.CompileLTL(mono.Module, sp.Formula, sp.Source)
+		if err != nil {
+			t.Fatalf("LTLSPEC %s: %v", sp.Source, err)
+		}
+		pM.S.EnablePartition(false)
+
+		chD := mc.New(pD.S)
+		holdsD, trD, err := pD.Check(chD)
+		if err != nil {
+			t.Fatalf("disjunctive LTLSPEC %s: %v", sp.Source, err)
+		}
+		chM := mc.New(pM.S)
+		holdsM, trM, err := pM.Check(chM)
+		if err != nil {
+			t.Fatalf("monolithic LTLSPEC %s: %v", sp.Source, err)
+		}
+		if holdsD != holdsM {
+			t.Fatalf("LTLSPEC %s: disjunctive verdict %v, monolithic %v", sp.Source, holdsD, holdsM)
+		}
+		if !holdsD {
+			if trD == nil || trM == nil {
+				t.Fatalf("LTLSPEC %s: failing spec without counterexample", sp.Source)
+			}
+			validateTrace(t, sp.Source+" (disjunctive lasso)", pD.S, trD)
+			validateTrace(t, sp.Source+" (monolithic lasso)", pM.S, trM)
+			if err := core.ValidatePath(pM.S, trD); err != nil {
+				t.Fatalf("LTLSPEC %s: disjunctive lasso rejected by monolithic product: %v", sp.Source, err)
+			}
+			if err := pD.ReplayCounterexample(trD); err != nil {
+				t.Fatalf("LTLSPEC %s: %v", sp.Source, err)
+			}
+			if err := pM.ReplayCounterexample(trM); err != nil {
+				t.Fatalf("LTLSPEC %s: %v", sp.Source, err)
+			}
+			checkedTraces++
+		}
+		chD.Close()
+		chM.Close()
+	}
 	if checkedTraces == 0 {
 		t.Fatal("no trace generated — differential is vacuous")
 	}

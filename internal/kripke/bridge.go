@@ -6,20 +6,39 @@ import (
 	"repro/internal/bdd"
 )
 
+// IndexBits returns the number of binary index bits FromExplicit uses
+// to encode an n-state structure.
+func IndexBits(n int) int {
+	nbits := 1
+	for 1<<nbits < n {
+		nbits++
+	}
+	return nbits
+}
+
 // FromExplicit encodes an explicit structure symbolically using a binary
 // encoding of the state index (little-endian bits named b0, b1, ...).
 // This is how the paper's OBDD representation of relations over finite
 // domains (end of Section 2) is obtained: states are numbered and the
 // relation is the characteristic function of the encoded pairs.
 func FromExplicit(e *Explicit) *Symbolic {
-	nbits := 1
-	for 1<<nbits < e.N {
-		nbits++
-	}
-	names := make([]string, nbits)
+	return FromExplicitBuilder(e, nil).Finish()
+}
+
+// FromExplicitBuilder is FromExplicit stopped one step short of Finish:
+// it returns the builder so callers can append further transition
+// clusters, initial constraints, or fairness sets — the hook the LTL
+// tableau product uses to ride alongside the encoded model. The extra
+// names declare additional (unconstrained) state variables appended
+// after the index bits b0..b{k-1}; the model's transition relation goes
+// in as one ConstrainTrans cluster over the index bits only.
+func FromExplicitBuilder(e *Explicit, extra []string) *Builder {
+	nbits := IndexBits(e.N)
+	names := make([]string, nbits, nbits+len(extra))
 	for i := range names {
 		names[i] = fmt.Sprintf("b%d", i)
 	}
+	names = append(names, extra...)
 	b := NewBuilder(names)
 	m := b.S.M
 
@@ -51,7 +70,7 @@ func FromExplicit(e *Explicit) *Symbolic {
 	for _, s := range e.Init {
 		init = m.Or(init, stateCube(s, false))
 	}
-	b.S.SetTrans(trans)
+	b.ConstrainTrans(trans)
 	b.S.Init = init
 
 	// valid-state invariant (indices < N)
@@ -79,7 +98,7 @@ func FromExplicit(e *Explicit) *Symbolic {
 		}
 		b.AddFairness(e.FairNames[i], set)
 	}
-	return b.Finish()
+	return b
 }
 
 // StateIndex decodes the binary encoding used by FromExplicit.

@@ -1,0 +1,285 @@
+// Package ltl defines the abstract syntax of linear temporal logic
+// (G/F/X/U/R/W over propositional atoms), a parser for it, and the
+// tableau translation of a formula into a generalized Büchi automaton
+// represented symbolically: one fresh state variable per elementary
+// temporal subformula, a transition constraint per variable, and a
+// fairness constraint per until-obligation. Checking M ⊨ φ then reduces
+// to emptiness of the fair product M × A_¬φ, which the paper's fair-EG
+// machinery (Section 5) decides and whose counterexamples the ring-walk
+// generator (Section 6) extracts as fair lassos.
+package ltl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind discriminates Formula nodes.
+type Kind int
+
+// Formula node kinds: the propositional layer mirrors package ctl; the
+// temporal layer is X (next), U (until), R (release), W (weak until)
+// and the abbreviations G (globally) and F (finally).
+const (
+	KTrue Kind = iota
+	KFalse
+	KAtom // boolean atomic proposition, by name
+	KEq   // Name = Value over a finite-domain variable
+	KNeq  // Name != Value
+	KNot
+	KAnd
+	KOr
+	KImp
+	KIff
+
+	KX
+	KU // L U R
+	KR // L R R: R holds up to and including the first L∧R point, or forever
+	KW // L W R: L U R, or L forever
+	KG
+	KF
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KTrue:
+		return "true"
+	case KFalse:
+		return "false"
+	case KAtom:
+		return "atom"
+	case KEq:
+		return "="
+	case KNeq:
+		return "!="
+	case KNot:
+		return "!"
+	case KAnd:
+		return "&"
+	case KOr:
+		return "|"
+	case KImp:
+		return "->"
+	case KIff:
+		return "<->"
+	case KX:
+		return "X"
+	case KU:
+		return "U"
+	case KR:
+		return "R"
+	case KW:
+		return "W"
+	case KG:
+		return "G"
+	case KF:
+		return "F"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Formula is an LTL formula node. Formulas are immutable after
+// construction; the helpers below build them.
+type Formula struct {
+	Kind  Kind
+	Name  string // KAtom, KEq, KNeq: variable name
+	Value string // KEq, KNeq: right-hand constant
+	L, R  *Formula
+}
+
+// Constructors.
+
+// True is the constant true formula.
+func True() *Formula { return &Formula{Kind: KTrue} }
+
+// False is the constant false formula.
+func False() *Formula { return &Formula{Kind: KFalse} }
+
+// Atom is the atomic proposition named name.
+func Atom(name string) *Formula { return &Formula{Kind: KAtom, Name: name} }
+
+// Eq is the atomic proposition "name = value" over a finite-domain
+// variable.
+func Eq(name, value string) *Formula { return &Formula{Kind: KEq, Name: name, Value: value} }
+
+// Neq is the atomic proposition "name != value".
+func Neq(name, value string) *Formula { return &Formula{Kind: KNeq, Name: name, Value: value} }
+
+// Not negates f.
+func Not(f *Formula) *Formula { return &Formula{Kind: KNot, L: f} }
+
+// And conjoins l and r.
+func And(l, r *Formula) *Formula { return &Formula{Kind: KAnd, L: l, R: r} }
+
+// Or disjoins l and r.
+func Or(l, r *Formula) *Formula { return &Formula{Kind: KOr, L: l, R: r} }
+
+// Imp is l -> r.
+func Imp(l, r *Formula) *Formula { return &Formula{Kind: KImp, L: l, R: r} }
+
+// Iff is l <-> r.
+func Iff(l, r *Formula) *Formula { return &Formula{Kind: KIff, L: l, R: r} }
+
+// X: f holds at the next position.
+func X(f *Formula) *Formula { return &Formula{Kind: KX, L: f} }
+
+// U: l holds until r does, and r eventually does.
+func U(l, r *Formula) *Formula { return &Formula{Kind: KU, L: l, R: r} }
+
+// R: r holds up to and including the first position where l also holds,
+// or forever if l never does (the dual of U).
+func R(l, r *Formula) *Formula { return &Formula{Kind: KR, L: l, R: r} }
+
+// W: l holds until r does, or l holds forever (weak until).
+func W(l, r *Formula) *Formula { return &Formula{Kind: KW, L: l, R: r} }
+
+// G: f holds at every position.
+func G(f *Formula) *Formula { return &Formula{Kind: KG, L: f} }
+
+// F: f holds at some position.
+func F(f *Formula) *Formula { return &Formula{Kind: KF, L: f} }
+
+// precedence for printing: higher binds tighter. The binary temporal
+// operators sit between & and the unary operators, matching the parser.
+func (f *Formula) prec() int {
+	switch f.Kind {
+	case KIff:
+		return 1
+	case KImp:
+		return 2
+	case KOr:
+		return 3
+	case KAnd:
+		return 4
+	case KU, KR, KW:
+		return 5
+	case KNot, KX, KG, KF:
+		return 6
+	default:
+		return 7
+	}
+}
+
+// String renders f in the concrete syntax accepted by Parse.
+func (f *Formula) String() string {
+	var sb strings.Builder
+	f.write(&sb, 0)
+	return sb.String()
+}
+
+func (f *Formula) write(sb *strings.Builder, outer int) {
+	p := f.prec()
+	if p < outer {
+		sb.WriteByte('(')
+	}
+	switch f.Kind {
+	case KTrue:
+		sb.WriteString("true")
+	case KFalse:
+		sb.WriteString("false")
+	case KAtom:
+		// An atom literally named X, G or F would be re-read as a prefix
+		// operator when followed by a formula; parentheses keep String()
+		// round-trippable through Parse.
+		switch f.Name {
+		case "X", "G", "F":
+			sb.WriteByte('(')
+			sb.WriteString(f.Name)
+			sb.WriteByte(')')
+		default:
+			sb.WriteString(f.Name)
+		}
+	case KEq:
+		fmt.Fprintf(sb, "%s = %s", f.Name, f.Value)
+	case KNeq:
+		fmt.Fprintf(sb, "%s != %s", f.Name, f.Value)
+	case KNot:
+		sb.WriteByte('!')
+		f.L.write(sb, p)
+	case KAnd:
+		f.L.write(sb, p)
+		sb.WriteString(" & ")
+		f.R.write(sb, p+1)
+	case KOr:
+		f.L.write(sb, p)
+		sb.WriteString(" | ")
+		f.R.write(sb, p+1)
+	case KImp:
+		f.L.write(sb, p+1)
+		sb.WriteString(" -> ")
+		f.R.write(sb, p)
+	case KIff:
+		f.L.write(sb, p+1)
+		sb.WriteString(" <-> ")
+		f.R.write(sb, p+1)
+	case KX, KG, KF:
+		sb.WriteString(f.Kind.String())
+		sb.WriteByte(' ')
+		f.L.write(sb, p)
+	case KU, KR, KW:
+		f.L.write(sb, p+1)
+		sb.WriteByte(' ')
+		sb.WriteString(f.Kind.String())
+		sb.WriteByte(' ')
+		f.R.write(sb, p) // right associative
+	}
+	if p < outer {
+		sb.WriteByte(')')
+	}
+}
+
+// Equal reports structural equality.
+func Equal(a, b *Formula) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Kind != b.Kind || a.Name != b.Name || a.Value != b.Value {
+		return false
+	}
+	return Equal(a.L, b.L) && Equal(a.R, b.R)
+}
+
+// Atoms returns the sorted set of atom/variable names appearing in f.
+func Atoms(f *Formula) []string {
+	set := map[string]bool{}
+	var walk func(*Formula)
+	walk = func(g *Formula) {
+		if g == nil {
+			return
+		}
+		if g.Kind == KAtom || g.Kind == KEq || g.Kind == KNeq {
+			set[g.Name] = true
+		}
+		walk(g.L)
+		walk(g.R)
+	}
+	walk(f)
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the number of nodes in f.
+func Size(f *Formula) int {
+	if f == nil {
+		return 0
+	}
+	return 1 + Size(f.L) + Size(f.R)
+}
+
+// IsPropositional reports whether f contains no temporal operators.
+func IsPropositional(f *Formula) bool {
+	if f == nil {
+		return true
+	}
+	switch f.Kind {
+	case KX, KU, KR, KW, KG, KF:
+		return false
+	}
+	return IsPropositional(f.L) && IsPropositional(f.R)
+}

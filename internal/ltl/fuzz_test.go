@@ -1,0 +1,74 @@
+package ltl
+
+import "testing"
+
+// isNNF reports whether f is in the normal form NNF promises: only
+// {true, false, literal, ∧, ∨, X, U, R}, with ! applied to atoms only.
+func isNNF(f *Formula) bool {
+	if f == nil {
+		return true
+	}
+	switch f.Kind {
+	case KTrue, KFalse, KAtom, KEq, KNeq:
+		return true
+	case KNot:
+		switch f.L.Kind {
+		case KAtom, KEq, KNeq:
+			return true
+		}
+		return false
+	case KAnd, KOr, KX, KU, KR:
+		return isNNF(f.L) && isNNF(f.R)
+	}
+	return false
+}
+
+// FuzzLTLParse checks parser/printer round-tripping: any formula that
+// parses must print to a string that reparses to a structurally equal
+// formula with a stable printed form, and its NNF must be well-formed
+// and idempotent.
+func FuzzLTLParse(f *testing.F) {
+	for _, s := range []string{
+		"p", "G p", "F p", "X p", "p U q", "p R q", "p W q",
+		"G (send -> F ack)", "p U q U r", "G p U q", "!G p",
+		"x = a U y != b", "p <-> q -> r", "true U false",
+		"(G) U q", "G F p & F G q", "!(p W q)",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		fm, err := Parse(src)
+		if err != nil {
+			t.Skip()
+		}
+		printed := fm.String()
+		g, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("String() of %q does not reparse: %q: %v", src, printed, err)
+		}
+		if !Equal(fm, g) {
+			t.Fatalf("round trip changed %q: %q -> %q", src, printed, g)
+		}
+		if again := g.String(); again != printed {
+			t.Fatalf("printing is not stable: %q vs %q", printed, again)
+		}
+		if Size(fm) > 200 {
+			return
+		}
+		n := NNF(fm)
+		if !isNNF(n) {
+			t.Fatalf("NNF(%q) = %q is not in normal form", src, n)
+		}
+		if !Equal(n, NNF(n)) {
+			t.Fatalf("NNF is not idempotent on %q", src)
+		}
+		// The tableau must build without panicking and every elementary
+		// subformula must be temporal.
+		tab := Translate(fm)
+		for _, e := range tab.Elem {
+			if e.Kind != KX && e.Kind != KU && e.Kind != KR {
+				t.Fatalf("non-temporal elementary subformula %q", e)
+			}
+		}
+	})
+}

@@ -1,0 +1,245 @@
+package ltl
+
+import "fmt"
+
+// Parse parses the concrete LTL syntax:
+//
+//	f ::= f '<->' f            (lowest precedence)
+//	    | f '->' f             (right associative)
+//	    | f '|' f
+//	    | f '&' f
+//	    | f 'U' f | f 'R' f | f 'W' f   (right associative)
+//	    | '!' f | 'X' f | 'G' f | 'F' f
+//	    | ident | ident '=' const | ident '!=' const
+//	    | 'true' | 'false' | '(' f ')'
+//
+// The binary temporal operators bind tighter than '&', so
+// "p U q & r" parses as "(p U q) & r", and their operands are unary
+// formulas: "G p U q" is "(G p) U q". Identifiers may contain letters,
+// digits, '_' and '.'. The operator letters G/F/X/U/R/W are reserved
+// in operator position but "U", "R" etc. standing alone still parse as
+// atoms.
+func Parse(src string) (*Formula, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f, err := p.iff()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tEOF {
+		return nil, fmt.Errorf("ltl: unexpected %s after formula", p.cur())
+	}
+	return f, nil
+}
+
+// MustParse parses src and panics on error; intended for tests and
+// compile-time-constant specifications.
+func MustParse(src string) *Formula {
+	f, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	if p.cur().kind != k {
+		return token{}, fmt.Errorf("ltl: expected %s, found %s", what, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) iff() (*Formula, error) {
+	l, err := p.imp()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tIff {
+		p.next()
+		r, err := p.imp()
+		if err != nil {
+			return nil, err
+		}
+		l = Iff(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) imp() (*Formula, error) {
+	l, err := p.or()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tImp {
+		p.next()
+		r, err := p.imp() // right associative
+		if err != nil {
+			return nil, err
+		}
+		return Imp(l, r), nil
+	}
+	return l, nil
+}
+
+func (p *parser) or() (*Formula, error) {
+	l, err := p.and()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tOr {
+		p.next()
+		r, err := p.and()
+		if err != nil {
+			return nil, err
+		}
+		l = Or(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) and() (*Formula, error) {
+	l, err := p.until()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tAnd {
+		p.next()
+		r, err := p.until()
+		if err != nil {
+			return nil, err
+		}
+		l = And(l, r)
+	}
+	return l, nil
+}
+
+// until parses the right-associative binary temporal level: U, R, W.
+func (p *parser) until() (*Formula, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tIdent {
+		switch p.cur().text {
+		case "U", "R", "W":
+			op := p.next().text
+			r, err := p.until() // right associative
+			if err != nil {
+				return nil, err
+			}
+			switch op {
+			case "U":
+				return U(l, r), nil
+			case "R":
+				return R(l, r), nil
+			default:
+				return W(l, r), nil
+			}
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) unary() (*Formula, error) {
+	t := p.cur()
+	switch t.kind {
+	case tNot:
+		p.next()
+		f, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return Not(f), nil
+	case tLParen:
+		p.next()
+		f, err := p.iff()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	case tIdent:
+		return p.identLed()
+	}
+	return nil, fmt.Errorf("ltl: unexpected %s", t)
+}
+
+// identLed handles everything that starts with an identifier: the
+// prefix temporal keywords, constants, and (in)equality atoms.
+func (p *parser) identLed() (*Formula, error) {
+	t := p.next()
+	switch t.text {
+	case "true", "TRUE":
+		return True(), nil
+	case "false", "FALSE":
+		return False(), nil
+	case "X", "G", "F":
+		// Prefix operator when followed by the start of a formula;
+		// otherwise fall through and treat the letter as a plain atom
+		// (e.g. a bare "F" or "F = 1" in a model that names a variable F).
+		if startsFormula(p.cur()) {
+			f, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			switch t.text {
+			case "X":
+				return X(f), nil
+			case "G":
+				return G(f), nil
+			default:
+				return F(f), nil
+			}
+		}
+	}
+	// plain atom, possibly followed by =/!= constant
+	switch p.cur().kind {
+	case tEq:
+		p.next()
+		v, err := p.constOperand()
+		if err != nil {
+			return nil, err
+		}
+		return Eq(t.text, v), nil
+	case tNeq:
+		p.next()
+		v, err := p.constOperand()
+		if err != nil {
+			return nil, err
+		}
+		return Neq(t.text, v), nil
+	}
+	return Atom(t.text), nil
+}
+
+// startsFormula reports whether tok can begin a unary formula.
+func startsFormula(tok token) bool {
+	switch tok.kind {
+	case tNot, tLParen, tIdent:
+		return true
+	}
+	return false
+}
+
+// constOperand parses the right-hand side of =/!=.
+func (p *parser) constOperand() (string, error) {
+	t := p.cur()
+	if t.kind == tIdent || t.kind == tNumber {
+		p.next()
+		return t.text, nil
+	}
+	return "", fmt.Errorf("ltl: expected constant after comparison, found %s", t)
+}

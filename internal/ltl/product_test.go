@@ -1,0 +1,179 @@
+package ltl_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bdd"
+	"repro/internal/core"
+	"repro/internal/explicit"
+	"repro/internal/kripke"
+	"repro/internal/ltl"
+	"repro/internal/mc"
+)
+
+// checkSymbolic decides e ⊨ spec through the symbolic tableau product
+// and, on violation, extracts a fair lasso through the ring-walk
+// generator, validates it against the product, and replays its model
+// projection against LTL semantics. It returns the verdict.
+func checkSymbolic(t *testing.T, e *kripke.Explicit, spec *ltl.Formula) bool {
+	t.Helper()
+	prod, err := ltl.ProductFromExplicit(e, spec)
+	if err != nil {
+		t.Fatalf("%s: product: %v", spec, err)
+	}
+	c := mc.New(prod.S)
+	defer c.Close()
+	empty, start := c.FairEmptiness(prod.Accept)
+	if empty {
+		return true
+	}
+	gen := core.NewGenerator(c)
+	tr, err := gen.WitnessEG(bdd.True, start)
+	if err != nil {
+		t.Fatalf("%s: fair lasso extraction: %v", spec, err)
+	}
+	if !tr.IsLasso() {
+		t.Fatalf("%s: counterexample is not a lasso", spec)
+	}
+	if err := core.ValidatePath(prod.S, tr); err != nil {
+		t.Fatalf("%s: invalid product trace: %v", spec, err)
+	}
+	if len(prod.S.Fair) > 0 {
+		if err := core.ValidateFairLasso(prod.S, tr); err != nil {
+			t.Fatalf("%s: lasso violates product fairness: %v", spec, err)
+		}
+	}
+	// Replay the model projection of the lasso against LTL semantics:
+	// the induced path must falsify the specification.
+	holds, err := explicit.EvalLasso(spec, len(tr.States), tr.CycleStart,
+		func(pos int, lit *ltl.Formula) (bool, error) {
+			u := kripke.StateIndex(tr.States[pos][:prod.ModelLen])
+			return explicit.LabelAtom(e, u, lit)
+		})
+	if err != nil {
+		t.Fatalf("%s: replay: %v", spec, err)
+	}
+	if holds {
+		t.Fatalf("%s: symbolic counterexample path satisfies the spec", spec)
+	}
+	return false
+}
+
+func crossCheck(t *testing.T, e *kripke.Explicit, specs []string) {
+	t.Helper()
+	for _, src := range specs {
+		spec := ltl.MustParse(src)
+		expHolds, expCex, err := explicit.CheckLTL(e, spec)
+		if err != nil {
+			t.Fatalf("%s: explicit: %v", src, err)
+		}
+		symHolds := checkSymbolic(t, e, spec)
+		if expHolds != symHolds {
+			t.Errorf("%s: explicit says %v, symbolic says %v", src, expHolds, symHolds)
+		}
+		if !expHolds && expCex != nil {
+			// The explicit counterexample must itself falsify the spec.
+			holds, err := explicit.EvalLasso(spec, len(expCex.States), expCex.CycleStart,
+				func(pos int, lit *ltl.Formula) (bool, error) {
+					return explicit.LabelAtom(e, expCex.States[pos], lit)
+				})
+			if err != nil {
+				t.Fatalf("%s: explicit replay: %v", src, err)
+			}
+			if holds {
+				t.Errorf("%s: explicit counterexample satisfies the spec", src)
+			}
+		}
+	}
+}
+
+var crossSpecs = []string{
+	"G p", "F p", "G q", "F q", "X p", "X X q",
+	"G F p", "F G p", "G F q", "F G q",
+	"p U q", "q U p", "p R q", "p W q",
+	"G (p -> F q)", "G (q -> F p)", "G (p -> X q)",
+	"F (p & q)", "G (p | q)", "p -> G q", "!G p", "!(p U q)",
+	"G (p -> p U q)", "F p & F q", "G p | G q",
+}
+
+func TestProductVsExplicitDeterministic(t *testing.T) {
+	e := kripke.NewExplicit(2)
+	e.AddEdge(0, 1)
+	e.AddEdge(1, 0)
+	e.AddEdge(1, 1)
+	e.Label(0, "p")
+	e.Label(1, "q")
+	e.AddInit(0)
+	crossCheck(t, e, crossSpecs)
+}
+
+func TestProductVsExplicitRandom(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		nfair := int(seed) % 3
+		e := kripke.RandomExplicit(r, 3+r.Intn(6), 1.5, []string{"p", "q"}, nfair, 0.4)
+		crossCheck(t, e, crossSpecs)
+	}
+}
+
+// hasComparison reports whether f contains =/!= literals; the fuzz
+// differential skips them because the explicit label conventions only
+// align with the symbolic atom resolution for plain boolean atoms.
+func hasComparison(f *ltl.Formula) bool {
+	if f == nil {
+		return false
+	}
+	if f.Kind == ltl.KEq || f.Kind == ltl.KNeq {
+		return true
+	}
+	return hasComparison(f.L) || hasComparison(f.R)
+}
+
+func onlyKnownAtoms(f *ltl.Formula, known map[string]bool) bool {
+	for _, a := range ltl.Atoms(f) {
+		if !known[a] {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzLTLTranslate drives the full differential: a random small model
+// and a fuzzed specification are checked by the explicit product oracle
+// and by the symbolic tableau product; verdicts must agree and every
+// symbolic counterexample lasso must replay to false.
+func FuzzLTLTranslate(f *testing.F) {
+	for _, s := range crossSpecs {
+		f.Add(int64(1), uint8(5), s)
+	}
+	f.Add(int64(7), uint8(4), "G (p -> F q)")
+	f.Add(int64(9), uint8(6), "p U (q U p)")
+	known := map[string]bool{"p": true, "q": true}
+	f.Fuzz(func(t *testing.T, seed int64, size uint8, src string) {
+		spec, err := ltl.Parse(src)
+		if err != nil {
+			t.Skip()
+		}
+		if hasComparison(spec) || !onlyKnownAtoms(spec, known) || ltl.Size(spec) > 24 {
+			t.Skip()
+		}
+		tab := ltl.Translate(spec)
+		if len(tab.Elem) > 5 {
+			t.Skip() // keep the explicit product tractable
+		}
+		n := 2 + int(size)%7
+		r := rand.New(rand.NewSource(seed))
+		e := kripke.RandomExplicit(r, n, 1.5, []string{"p", "q"}, int(seed)%3, 0.4)
+
+		expHolds, _, err := explicit.CheckLTL(e, spec)
+		if err != nil {
+			t.Skip()
+		}
+		symHolds := checkSymbolic(t, e, spec)
+		if expHolds != symHolds {
+			t.Fatalf("verdict mismatch on %q (seed %d, n %d): explicit %v, symbolic %v",
+				src, seed, n, expHolds, symHolds)
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/ctl"
+	"repro/internal/ltl"
 )
 
 // Module is one parsed MODULE (main or a parameterized submodule).
@@ -19,6 +20,7 @@ type Module struct {
 	Invars   []Expr // INVAR sections
 	Fairness []Expr // FAIRNESS sections
 	Specs    []*Spec
+	LTLSpecs []*LTLSpec
 
 	// Processes lists the process instance paths of a flattened program
 	// (empty for synchronous models). When non-empty the compiler emits a
@@ -107,6 +109,13 @@ type Define struct {
 type Spec struct {
 	Source  string
 	Formula *ctl.Formula
+	line    int
+}
+
+// LTLSpec is an LTLSPEC declaration with its source text.
+type LTLSpec struct {
+	Source  string
+	Formula *ltl.Formula
 	line    int
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/bdd"
 	"repro/internal/kripke"
+	"repro/internal/ltl"
 )
 
 // ValueKind discriminates domain values.
@@ -77,6 +78,18 @@ type valCase struct {
 
 // Compile type-checks and compiles the module into a symbolic structure.
 func Compile(m *Module) (*Compiled, error) {
+	return compile(m, nil)
+}
+
+// compile is the engine behind Compile and CompileLTL. When la is
+// non-nil it interleaves the tableau product construction (see ltl.go)
+// into the normal compile: the tableau variables are appended after the
+// model's bit allocation, the tableau clusters join the conjunctive
+// partition before the SetClusters/emitDisjuncts decision — so the
+// product flows through the same early-quantified and Shannon-expanded
+// image paths as the model relation — and the generalized-Büchi sets
+// are appended after the model's FAIRNESS constraints.
+func compile(m *Module, la *ltlAttachment) (*Compiled, error) {
 	c := &Compiled{
 		Module:  m,
 		Vars:    map[string]*VarInfo{},
@@ -120,6 +133,18 @@ func Compile(m *Module) (*Compiled, error) {
 		}
 		c.defines[d.Name] = d
 	}
+	// Tableau variables ride after every model bit so traces and
+	// FormatStateByVars (which walk c.Order/VarInfo.Bits) never see them.
+	if la != nil {
+		for i := range la.tab.Elem {
+			name := fmt.Sprintf("_ltl%d", i)
+			for c.Vars[name] != nil || c.defines[name] != nil {
+				name += "_"
+			}
+			la.elemVars = append(la.elemVars, len(names))
+			names = append(names, name)
+		}
+	}
 
 	c.S = kripke.NewSymbolic(names)
 	mgr := c.S.M
@@ -141,6 +166,15 @@ func Compile(m *Module) (*Compiled, error) {
 	// Register atoms for SPEC resolution.
 	if err := c.registerAtoms(); err != nil {
 		return nil, err
+	}
+	// The tableau reads atoms through the same resolution SPECs use, so
+	// both logics see identical labelings (DEFINEs included).
+	if la != nil {
+		a, err := ltl.Attach(la.tab, c.S, la.elemVars, nil)
+		if err != nil {
+			return nil, err
+		}
+		la.attached = a
 	}
 
 	// Assignments. Each next-state assignment and each TRANS section
@@ -215,6 +249,11 @@ func Compile(m *Module) (*Compiled, error) {
 		addCluster(invar)
 		addCluster(c.S.ToNext(invar))
 	}
+	if la != nil {
+		for _, cl := range la.attached.Clusters {
+			addCluster(cl)
+		}
+	}
 	if len(transClusters) > 1 {
 		// SetClusters leaves the monolithic relation deferred; the
 		// clusters' conjunction defines it.
@@ -238,6 +277,11 @@ func Compile(m *Module) (*Compiled, error) {
 			return nil, err
 		}
 		c.S.AddFairness(fmt.Sprintf("FAIRNESS#%d(%s)", i, e.String()), b)
+	}
+	if la != nil {
+		for i, set := range la.attached.Fair {
+			c.S.AddFairness(la.attached.FairNames[i], set)
+		}
 	}
 	// The DEFINE memo holds raw refs that spec-atom resolution and later
 	// evaluation read; register them so dynamic reordering rewrites them

@@ -83,6 +83,7 @@ func (prog Program) Flatten() (*Module, error) {
 	// Specs live only on main and are copied verbatim (their atoms are
 	// already fully-qualified dotted names).
 	flat.Specs = prog["main"].Specs
+	flat.LTLSpecs = prog["main"].LTLSpecs
 
 	// Merge process-conditioned next-assignments per target variable:
 	//   next(v) := case _running = p1 : rhs1; _running = p2 : rhs2;
@@ -272,6 +273,9 @@ func (fl *flattener) instantiate(mod *Module, prefix string, bind map[string]Exp
 	}
 	if prefix != "" && len(mod.Specs) > 0 {
 		return &Error{Msg: fmt.Sprintf("module %q: SPEC is only allowed in main", mod.Name)}
+	}
+	if prefix != "" && len(mod.LTLSpecs) > 0 {
+		return &Error{Msg: fmt.Sprintf("module %q: LTLSPEC is only allowed in main", mod.Name)}
 	}
 	return nil
 }

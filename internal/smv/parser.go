@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/ctl"
+	"repro/internal/ltl"
 )
 
 // ParseModule parses SMV source — possibly containing several MODULE
@@ -58,7 +59,7 @@ func (p *parser) expectKeyword(kw string) error {
 var sectionKeywords = map[string]bool{
 	"MODULE": true, "VAR": true, "ASSIGN": true, "DEFINE": true,
 	"INIT": true, "TRANS": true, "INVAR": true, "FAIRNESS": true,
-	"SPEC": true, "CTLSPEC": true,
+	"SPEC": true, "CTLSPEC": true, "LTLSPEC": true,
 }
 
 // oneModule parses a single MODULE definition, stopping before the next
@@ -140,6 +141,13 @@ func (p *parser) oneModule() (*Module, error) {
 				return nil, err
 			}
 			m.Specs = append(m.Specs, spec)
+		case "LTLSPEC":
+			p.next()
+			spec, err := p.ltlSpec()
+			if err != nil {
+				return nil, err
+			}
+			m.LTLSpecs = append(m.LTLSpecs, spec)
 		default:
 			return nil, errAt(t, "unknown section %q", t.text)
 		}
@@ -296,10 +304,10 @@ func (p *parser) defineSection(m *Module) error {
 	return nil
 }
 
-// spec captures the raw CTL formula text until ';' (or a section
-// keyword) and parses it with the ctl parser.
-func (p *parser) spec() (*Spec, error) {
-	start := p.cur()
+// specSource captures the raw formula text of a specification section:
+// token texts joined by spaces up to ';' (or a section keyword) at
+// bracket depth zero.
+func (p *parser) specSource() string {
 	var parts []string
 	depth := 0
 	for !p.at(tEOF) {
@@ -320,7 +328,14 @@ func (p *parser) spec() (*Spec, error) {
 		parts = append(parts, t.text)
 		p.next()
 	}
-	src := strings.Join(parts, " ")
+	return strings.Join(parts, " ")
+}
+
+// spec captures the raw CTL formula text until ';' (or a section
+// keyword) and parses it with the ctl parser.
+func (p *parser) spec() (*Spec, error) {
+	start := p.cur()
+	src := p.specSource()
 	if src == "" {
 		return nil, errAt(start, "empty SPEC")
 	}
@@ -329,6 +344,20 @@ func (p *parser) spec() (*Spec, error) {
 		return nil, errAt(start, "SPEC %q: %v", src, err)
 	}
 	return &Spec{Source: src, Formula: f, line: start.line}, nil
+}
+
+// ltlSpec is spec for LTLSPEC sections, parsed with the ltl parser.
+func (p *parser) ltlSpec() (*LTLSpec, error) {
+	start := p.cur()
+	src := p.specSource()
+	if src == "" {
+		return nil, errAt(start, "empty LTLSPEC")
+	}
+	f, err := ltl.Parse(src)
+	if err != nil {
+		return nil, errAt(start, "LTLSPEC %q: %v", src, err)
+	}
+	return &LTLSpec{Source: src, Formula: f, line: start.line}, nil
 }
 
 // Expression grammar (precedence climbing):

@@ -74,10 +74,92 @@ func TestModelTracesValidate(t *testing.T) {
 					validated++
 				}
 			}
+			// Every failing LTLSPEC must produce a fair lasso over the
+			// tableau product that validates against the product and,
+			// projected onto the model, falsifies the formula.
+			for _, sp := range compiled.Module.LTLSpecs {
+				p, err := smv.CompileLTL(compiled.Module, sp.Formula, sp.Source)
+				if err != nil {
+					t.Fatalf("LTLSPEC %s: %v", sp.Source, err)
+				}
+				ch := mc.New(p.S)
+				holds, tr, err := p.Check(ch)
+				if err != nil {
+					t.Fatalf("LTLSPEC %s: %v", sp.Source, err)
+				}
+				if !holds {
+					if tr == nil {
+						t.Fatalf("LTLSPEC %s: failed without a counterexample", sp.Source)
+					}
+					validateTrace(t, sp.Source, p.S, tr)
+					if err := p.ReplayCounterexample(tr); err != nil {
+						t.Fatalf("LTLSPEC %s: %v", sp.Source, err)
+					}
+					validated++
+				}
+				ch.Close()
+			}
 		})
 	}
 	if validated == 0 {
 		t.Fatal("no trace was generated across all models — test is vacuous")
+	}
+}
+
+// scenarioVerdicts pins the expected verdict of every SPEC and LTLSPEC
+// of the protocol scenario models, in declaration order. The tables
+// encode the intended CTL/LTL contrast: on ABP's lossy channels
+// acknowledgement stays *possible* (AG (send -> EF ack) holds) but is
+// not *inevitable* (G (send -> F ack) fails); on Peterson, fairness
+// gives bounded waiting while plain eventuality still fails.
+var scenarioVerdicts = map[string]struct{ ctl, ltl []bool }{
+	"abp.smv": {
+		ctl: []bool{true, true, true, true},
+		ltl: []bool{false, true, true, false, true},
+	},
+	"peterson.smv": {
+		ctl: []bool{true, true, true, true},
+		ltl: []bool{true, true, true, false, false, false},
+	},
+}
+
+func TestScenarioModelVerdicts(t *testing.T) {
+	for name, want := range scenarioVerdicts {
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(filepath.Join("models", name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			compiled, err := smv.CompileSource(string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := len(compiled.Module.Specs); got != len(want.ctl) {
+				t.Fatalf("model declares %d SPECs, table expects %d", got, len(want.ctl))
+			}
+			if got := len(compiled.Module.LTLSpecs); got != len(want.ltl) {
+				t.Fatalf("model declares %d LTLSPECs, table expects %d", got, len(want.ltl))
+			}
+			gen := core.NewGenerator(mc.New(compiled.S))
+			for i, sp := range compiled.Module.Specs {
+				holds, _, err := gen.CounterexampleInit(sp.Formula)
+				if err != nil {
+					t.Fatalf("%s: %v", sp.Source, err)
+				}
+				if holds != want.ctl[i] {
+					t.Errorf("SPEC %s: got %v, want %v", sp.Source, holds, want.ctl[i])
+				}
+			}
+			for i, sp := range compiled.Module.LTLSpecs {
+				holds, _, _, err := smv.CheckLTLSpec(compiled.Module, sp.Formula, sp.Source)
+				if err != nil {
+					t.Fatalf("%s: %v", sp.Source, err)
+				}
+				if holds != want.ltl[i] {
+					t.Errorf("LTLSPEC %s: got %v, want %v", sp.Source, holds, want.ltl[i])
+				}
+			}
+		})
 	}
 }
 
