@@ -20,6 +20,12 @@
 // skipped entirely, since a ratio over a near-zero baseline is all
 // noise.
 //
+// -rate-metric adds an inverted gate on a higher-is-better field (e.g.
+// cache_hit_rate): the entry fails when the current value DROPS more
+// than -max-rate-drop percent below the baseline. Rates are
+// deterministic for a fixed model and schedule, like node counts, so a
+// large drop means the computed-cache normalization regressed.
+//
 // The artifact format is an array of flat JSON objects. An entry's
 // identity is the concatenation of its string- and bool-valued fields
 // plus the numeric fields "cells" and "workers" — which covers every
@@ -47,6 +53,9 @@ type entry map[string]any
 
 // key builds the identity string for an entry: every string and bool
 // field plus the allowlisted numeric parameters, in sorted field order.
+// The "note" field is excluded: recorders embed measurements in it
+// (wall times, node counts at abort), so keying on it would turn every
+// timing wobble into a spurious MISSING.
 func key(e entry) string {
 	fields := make([]string, 0, len(e))
 	for k := range e {
@@ -55,6 +64,9 @@ func key(e entry) string {
 	sort.Strings(fields)
 	var b strings.Builder
 	for _, k := range fields {
+		if k == "note" {
+			continue
+		}
 		switch v := e[k].(type) {
 		case string:
 			fmt.Fprintf(&b, "%s=%s|", k, v)
@@ -93,6 +105,8 @@ func main() {
 	maxRegress := flag.Float64("max-regress", 25, "allowed regression in percent")
 	timeMetric := flag.String("time-metric", "", "optional wall-time field for a second gate (e.g. reorder_ms)")
 	maxTimeRegress := flag.Float64("max-time-regress", 100, "allowed regression on -time-metric in percent")
+	rateMetric := flag.String("rate-metric", "", "optional higher-is-better field for an inverted gate (e.g. cache_hit_rate)")
+	maxRateDrop := flag.Float64("max-rate-drop", 25, "allowed drop on -rate-metric in percent")
 	flag.Parse()
 	if *baselinePath == "" || *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "usage: benchgate -baseline old.json -current new.json "+
@@ -116,6 +130,9 @@ func main() {
 	failures := gate(baseline, byKey, *metric, *maxRegress, 0)
 	if *timeMetric != "" {
 		failures += gate(baseline, byKey, *timeMetric, *maxTimeRegress, timeGateFloorMS)
+	}
+	if *rateMetric != "" {
+		failures += gateRate(baseline, byKey, *rateMetric, *maxRateDrop)
 	}
 	if failures > 0 {
 		fmt.Printf("\nbenchgate: %d entr%s regressed\n", failures, plural(failures))
@@ -163,6 +180,48 @@ func gate(baseline []entry, byKey map[string]entry, metric string, maxRegress, f
 			fmt.Printf("improved %s — %s %.0f -> %.0f\n", describe(base), metric, baseVal, curVal)
 		default:
 			fmt.Printf("ok       %s — %s %.0f -> %.0f\n", describe(base), metric, baseVal, curVal)
+		}
+	}
+	return failures
+}
+
+// gateRate is the inverted gate for higher-is-better metrics: the
+// entry fails when the current value drops more than maxDrop percent
+// below the baseline. Zero baselines are skipped (nothing to preserve);
+// a current entry missing the field still fails, as with gate.
+func gateRate(baseline []entry, byKey map[string]entry, metric string, maxDrop float64) int {
+	failures := 0
+	for _, base := range baseline {
+		baseVal, ok := base[metric].(float64)
+		if !ok {
+			continue
+		}
+		cur, ok := byKey[key(base)]
+		if !ok {
+			fmt.Printf("MISSING  %s — entry absent from current run\n", describe(base))
+			failures++
+			continue
+		}
+		curVal, ok := cur[metric].(float64)
+		if !ok {
+			fmt.Printf("MISSING  %s — current entry lost field %q\n", describe(base), metric)
+			failures++
+			continue
+		}
+		if baseVal <= 0 {
+			fmt.Printf("skipped  %s — %s baseline %.3f carries no signal\n", describe(base), metric, baseVal)
+			continue
+		}
+		limit := baseVal * (1 - maxDrop/100)
+		switch {
+		case curVal < limit:
+			fmt.Printf("REGRESS  %s — %s %.3f -> %.3f (limit %.3f, %.1f%% drop)\n",
+				describe(base), metric, baseVal, curVal, limit, 100*(baseVal-curVal)/baseVal)
+			failures++
+		case curVal > baseVal:
+			fmt.Printf("improved %s — %s %.3f -> %.3f\n", describe(base), metric, baseVal, curVal)
+		default:
+			fmt.Printf("ok       %s — %s %.3f -> %.3f\n", describe(base), metric, baseVal, curVal)
 		}
 	}
 	return failures

@@ -4,9 +4,11 @@ import "testing"
 
 func TestKeyIgnoresMeasurements(t *testing.T) {
 	a := entry{"model": "ring.smv", "mode": "disjunctive", "workers": 2.0,
-		"peak_live_nodes": 1871.0, "wall_ms": 4.2}
+		"peak_live_nodes": 1871.0, "wall_ms": 4.2,
+		"note": "monolithic Trans materialized in 0.4ms"}
 	b := entry{"model": "ring.smv", "mode": "disjunctive", "workers": 2.0,
-		"peak_live_nodes": 99999.0, "wall_ms": 0.1}
+		"peak_live_nodes": 99999.0, "wall_ms": 0.1,
+		"note": "monolithic Trans materialized in 0.8ms"}
 	if key(a) != key(b) {
 		t.Fatalf("measurement fields leaked into identity:\n%s\n%s", key(a), key(b))
 	}

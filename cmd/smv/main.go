@@ -59,6 +59,7 @@ func main() {
 	reorder := flag.Bool("reorder", false, "enable dynamic variable reordering")
 	disjunctive := flag.Bool("disjunctive", false, "use the disjunctive (per-process) image on interleaved models")
 	workers := flag.Int("workers", 1, "worker goroutines for the disjunctive image")
+	noComplement := flag.Bool("no-complement", false, "disable complement edges (legacy structural negation)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -74,7 +75,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	compiled, err := smv.Compile(module)
+	copts := smv.CompileOptions{DisableComplementEdges: *noComplement}
+	compiled, err := smv.CompileWith(module, copts)
 	if err != nil {
 		fatal(err)
 	}
@@ -174,7 +176,7 @@ func main() {
 	}
 	for _, sp := range ltlSpecs {
 		fmt.Printf("-- LTL specification %s ", sp.Source)
-		p, err := smv.CompileLTL(module, sp.Formula, sp.Source)
+		p, err := smv.CompileLTLWith(module, sp.Formula, sp.Source, copts)
 		if err != nil {
 			fmt.Printf("ERROR: %v\n", err)
 			exitCode = 2
@@ -224,12 +226,15 @@ func main() {
 		fmt.Printf("live BDD nodes:     %d\n", m.NumNodes())
 		fmt.Printf("ITE calls:          %d (cache hits %d / lookups %d)\n",
 			m.Stats.ITECalls, m.Stats.CacheHits, m.Stats.CacheLookups)
+		rel := compiled.S.RelStats()
+		fmt.Printf("computed cache:     %.1f%% hit rate (%d hits / %d lookups), unique-table load %.2f, complement edges %v\n",
+			100*rel.CacheHitRate(), rel.CacheHits, rel.CacheLookups,
+			rel.UniqueTableLoad, !m.ComplementEdgesDisabled())
 		fmt.Printf("EU fixpoints:       %d (%d iterations)\n",
 			checker.Stats.EUFixpoints, checker.Stats.EUIterations)
 		fmt.Printf("EG fixpoints:       %d (%d iterations, %d fair outer)\n",
 			checker.Stats.EGFixpoints, checker.Stats.EGIterations, checker.Stats.FairEGOuter)
 		fmt.Printf("peak BDD nodes:     %d\n", checker.Stats.PeakNodes)
-		rel := compiled.S.RelStats()
 		fmt.Printf("transition clusters: %d (preimages %d, images %d, cluster steps %d, peak %d nodes in chains)\n",
 			compiled.S.NumClusters(), rel.PreimageCalls, rel.ImageCalls, rel.ClusterSteps, rel.PeakLiveNodes)
 		if n := compiled.S.NumDisjuncts(); n > 0 {

@@ -44,10 +44,12 @@ func TestDisjunctiveModelsDifferential(t *testing.T) {
 		}
 		processModels++
 		for _, workers := range []int{1, 3} {
-			workers := workers
-			t.Run(ent.Name()+"/workers="+string(rune('0'+workers)), func(t *testing.T) {
-				compareDisjunctiveToMonolithic(t, string(src), workers)
-			})
+			for _, rep := range complementOptions {
+				workers, rep := workers, rep
+				t.Run(ent.Name()+"/workers="+string(rune('0'+workers))+"/"+rep.name, func(t *testing.T) {
+					compareDisjunctiveToMonolithic(t, string(src), workers, rep.opts)
+				})
+			}
 		}
 	}
 	if processModels == 0 {
@@ -58,8 +60,8 @@ func TestDisjunctiveModelsDifferential(t *testing.T) {
 // compareDisjunctiveToMonolithic compiles src twice — one copy checked
 // through the disjunctive image, one through the monolithic relation —
 // and compares everything observable.
-func compareDisjunctiveToMonolithic(t *testing.T, src string, workers int) {
-	dis, err := smv.CompileSource(src)
+func compareDisjunctiveToMonolithic(t *testing.T, src string, workers int, opts smv.CompileOptions) {
+	dis, err := smv.CompileSourceWith(src, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +71,7 @@ func compareDisjunctiveToMonolithic(t *testing.T, src string, workers int) {
 	dis.S.EnableDisjunct(true)
 	dis.S.SetWorkers(workers)
 
-	mono, err := smv.CompileSource(src)
+	mono, err := smv.CompileSourceWith(src, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +142,7 @@ func compareDisjunctiveToMonolithic(t *testing.T, src string, workers int) {
 	// against the other path's product structure and falsify the
 	// formula under the explicit-state replay oracle.
 	for _, sp := range dis.Module.LTLSpecs {
-		pD, err := smv.CompileLTL(dis.Module, sp.Formula, sp.Source)
+		pD, err := smv.CompileLTLWith(dis.Module, sp.Formula, sp.Source, opts)
 		if err != nil {
 			t.Fatalf("LTLSPEC %s: %v", sp.Source, err)
 		}
@@ -149,7 +151,7 @@ func compareDisjunctiveToMonolithic(t *testing.T, src string, workers int) {
 		}
 		pD.S.EnableDisjunct(true)
 		pD.S.SetWorkers(workers)
-		pM, err := smv.CompileLTL(mono.Module, sp.Formula, sp.Source)
+		pM, err := smv.CompileLTLWith(mono.Module, sp.Formula, sp.Source, opts)
 		if err != nil {
 			t.Fatalf("LTLSPEC %s: %v", sp.Source, err)
 		}

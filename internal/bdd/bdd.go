@@ -2,19 +2,36 @@
 // as described in Section 2 of Clarke, Grumberg, McMillan and Zhao,
 // "Efficient Generation of Counterexamples and Witnesses in Symbolic Model
 // Checking" (CMU-CS-94-204 / DAC 1995), following Bryant's original
-// construction.
+// construction with the complement-edge refinement of Brace, Rudell and
+// Bryant ("Efficient Implementation of a BDD Package", DAC 1990).
 //
 // Nodes live in a growable arena and are addressed by compact Ref handles.
-// For a fixed variable order the representation is canonical: two Refs from
-// the same Manager are equal if and only if they denote the same boolean
-// function, so equivalence checking is a single integer comparison.
+// Bit 31 of a Ref is the complement bit: ¬f is the same node with the bit
+// toggled, so negation is O(1) and allocates nothing, and a function and
+// its complement share every node. The arena keeps a single terminal (the
+// constant False at index 0); True is its complement. Canonical form is
+// enforced the standard way: the else (low) edge of every stored node is
+// non-complemented, with mk pulling the complement of an else edge up to
+// the parent edge.
+//
+// For a fixed variable order the representation is canonical: two Refs
+// from the same Manager are equal if and only if they denote the same
+// boolean function, so equivalence checking is a single integer
+// comparison — and checking f = ¬g is one comparison too.
 //
 // The package provides the operations the symbolic model checker needs:
-// the 16 two-argument boolean connectives (via ITE), restriction,
-// existential and universal quantification, the combined relational
-// product AndExists, variable permutation (current-state/next-state
-// renaming), satisfying-assignment extraction, model counting, garbage
-// collection and variable reordering.
+// the 16 two-argument boolean connectives (via ITE with standard-triple
+// and complement normalization, so e.g. f∧g, ¬(¬f∨¬g) and ITE(g,f,False)
+// share one computed-cache line), restriction, existential and universal
+// quantification, the combined relational product AndExists, variable
+// permutation (current-state/next-state renaming), satisfying-assignment
+// extraction, model counting, garbage collection and variable reordering.
+//
+// DisableComplementEdges keeps the pre-complement structural
+// representation available behind the same API (negation materializes
+// ¬f node by node, every edge is regular apart from the constant True
+// itself): the differential suites run every model under both
+// representations and demand identical verdicts.
 package bdd
 
 import (
@@ -24,18 +41,33 @@ import (
 	"time"
 )
 
-// Ref is a handle to a BDD node within a particular Manager. The zero
-// value is the constant false function.
+// Ref is a handle to a BDD node within a particular Manager. Bit 31 is
+// the complement bit: f and f^compBit denote complementary functions
+// over the same node. The zero value is the constant false function.
 type Ref uint32
 
-// Terminal nodes. They are shared by construction: every Manager places
-// false at index 0 and true at index 1.
+// compBit is the complement flag of a Ref. The index bits below it
+// address the node arena.
+const compBit Ref = 1 << 31
+
+// Terminal constants. The arena holds a single terminal node (index 0)
+// denoting False; True is its complement. They are shared by
+// construction across every Manager.
 const (
 	False Ref = 0
-	True  Ref = 1
+	True  Ref = compBit
 )
 
-// terminalLevel is the level assigned to the two terminal nodes. It
+// IsComplement reports whether the Ref carries the complement bit. It
+// is a property of the handle, not of the function: the canonical form
+// decides which of f, ¬f is stored plain.
+func IsComplement(f Ref) bool { return f&compBit != 0 }
+
+// Regular returns f with the complement bit cleared: the plain handle
+// of the node f lives on.
+func Regular(f Ref) Ref { return f &^ compBit }
+
+// terminalLevel is the level assigned to the terminal node. It
 // compares greater than every variable level, which lets the recursive
 // operations treat terminals uniformly.
 const terminalLevel uint32 = 0x7fffffff
@@ -72,12 +104,19 @@ type Manager struct {
 	nodes []node
 
 	// unique table, split per level: tables[l] indexes the nodes whose
-	// lvl field is l. Terminals live in no table.
+	// lvl field is l. The terminal lives in no table.
 	tables []subtable
 
-	free     uint32 // head of the free list (0 = empty; terminals never freed)
+	free     uint32 // head of the free list (0 = empty; the terminal is never freed)
 	numFree  int
-	numAlloc int // live node count including terminals
+	numAlloc int // live node count including the terminal
+
+	// noComp disables complement edges (DisableComplementEdges): the
+	// manager then runs the legacy structural representation — negation
+	// builds ¬f node by node and no stored edge carries the complement
+	// bit (only the constant True itself does). Kept as the differential
+	// oracle for the complement-edge engine.
+	noComp bool
 
 	// variable order: var2level[v] is the level of variable v.
 	var2level []int
@@ -171,10 +210,23 @@ const (
 	binCacheSize        = 1 << 16
 )
 
+// Option configures a Manager at construction time.
+type Option func(*Manager)
+
+// DisableComplementEdges selects the legacy structural representation:
+// no stored edge carries the complement bit (True, being ¬False by
+// definition, is the single exception) and Not(f) materializes the
+// complement node by node. The resulting manager is semantically
+// equivalent and serves as the differential oracle for the
+// complement-edge engine.
+func DisableComplementEdges() Option {
+	return func(m *Manager) { m.noComp = true }
+}
+
 // New creates a Manager with numVars variables, numbered 0..numVars-1.
 // The initial variable order is the identity (variable i at level i).
 // More variables may be added later with AddVar.
-func New(numVars int) *Manager {
+func New(numVars int, opts ...Option) *Manager {
 	if numVars < 0 {
 		panic("bdd: negative variable count")
 	}
@@ -185,15 +237,21 @@ func New(numVars int) *Manager {
 		gcThreshold: 1 << 20,
 		reorderOpts: DefaultReorderOptions(),
 	}
-	m.nodes = make([]node, 2, 1024)
+	for _, o := range opts {
+		o(m)
+	}
+	m.nodes = make([]node, 1, 1024)
 	m.nodes[0] = node{lvl: terminalLevel, low: False, high: False}
-	m.nodes[1] = node{lvl: terminalLevel, low: True, high: True}
-	m.numAlloc = 2
+	m.numAlloc = 1
 	for i := 0; i < numVars; i++ {
 		m.AddVar()
 	}
 	return m
 }
+
+// ComplementEdgesDisabled reports whether the manager runs the legacy
+// structural representation (see DisableComplementEdges).
+func (m *Manager) ComplementEdgesDisabled() bool { return m.noComp }
 
 // AddVar appends a fresh variable at the bottom of the current order and
 // returns its index.
@@ -251,10 +309,38 @@ func (m *Manager) TopLevels(k int) []LevelOccupancy {
 	return all
 }
 
+// UniqueTableLoadFactor returns the mean occupancy of the unique-table
+// buckets: live non-terminal nodes divided by the total bucket count
+// over all per-level subtables. With chained buckets a load factor near
+// or above 1 means longer probe chains on every mk.
+func (m *Manager) UniqueTableLoadFactor() float64 {
+	buckets := 0
+	for i := range m.tables {
+		buckets += len(m.tables[i].buckets)
+	}
+	if buckets == 0 {
+		return 0
+	}
+	return float64(m.numAlloc-1) / float64(buckets)
+}
+
+// ArenaBytes returns the memory footprint of the node arena and the
+// unique-table buckets in bytes (capacity, not just the live nodes).
+// Divided by NumNodes it gives the bytes-per-live-node figure the
+// benchmark recorders track.
+func (m *Manager) ArenaBytes() int {
+	const nodeBytes = 16 // lvl + low + high + next, 4 bytes each
+	b := cap(m.nodes) * nodeBytes
+	for i := range m.tables {
+		b += len(m.tables[i].buckets) * 4
+	}
+	return b
+}
+
 // NumVars returns the number of variables managed.
 func (m *Manager) NumVars() int { return len(m.var2level) }
 
-// NumNodes returns the number of live nodes, including the two terminals.
+// NumNodes returns the number of live nodes, including the terminal.
 func (m *Manager) NumNodes() int { return m.numAlloc }
 
 // LevelOf returns the current level of variable v.
@@ -290,10 +376,10 @@ func (m *Manager) Lit(v int, pos bool) Ref {
 }
 
 // IsTerminal reports whether f is one of the two constant functions.
-func IsTerminal(f Ref) bool { return f <= True }
+func IsTerminal(f Ref) bool { return f&^compBit == 0 }
 
-// level returns the level of f with the GC mark bit stripped.
-func (m *Manager) level(f Ref) uint32 { return m.nodes[f].lvl &^ markBit }
+// level returns the level of f's node with the GC mark bit stripped.
+func (m *Manager) level(f Ref) uint32 { return m.nodes[f&^compBit].lvl &^ markBit }
 
 // Level returns the level of the top variable of f, or a value greater
 // than any variable level if f is a terminal.
@@ -308,11 +394,21 @@ func (m *Manager) TopVar(f Ref) int {
 	return m.level2var[m.level(f)]
 }
 
-// Low returns the else-branch (variable false) of f.
-func (m *Manager) Low(f Ref) Ref { return m.nodes[f].low }
+// low returns the else-cofactor of f: the stored else edge with f's
+// complement bit pushed through. On a plain ref this is the raw edge.
+func (m *Manager) low(f Ref) Ref { return m.nodes[f&^compBit].low ^ (f & compBit) }
 
-// High returns the then-branch (variable true) of f.
-func (m *Manager) High(f Ref) Ref { return m.nodes[f].high }
+// high returns the then-cofactor of f with the complement bit pushed
+// through.
+func (m *Manager) high(f Ref) Ref { return m.nodes[f&^compBit].high ^ (f & compBit) }
+
+// Low returns the else-branch (variable false) of f, as a function:
+// complement bits on f propagate to the returned cofactor.
+func (m *Manager) Low(f Ref) Ref { return m.low(f) }
+
+// High returns the then-branch (variable true) of f, with complement
+// bits propagated.
+func (m *Manager) High(f Ref) Ref { return m.high(f) }
 
 // hash2 mixes a node's child pair into a bucket index. The level is not
 // part of the hash: each level has its own table.
@@ -324,13 +420,24 @@ func hash2(low, high Ref, mask uint32) uint32 {
 	return uint32(x) & mask
 }
 
-// mk returns the canonical node (lvl, low, high), applying the reduction
-// rules: equal children collapse, and structurally identical nodes are
-// shared through the level's unique subtable.
+// mk returns the canonical ref for (lvl, low, high), applying the
+// reduction rules — equal children collapse, structurally identical
+// nodes are shared through the level's unique subtable — and the
+// complement-edge canonicalization: a complemented else edge is pulled
+// up, storing the node over the complemented child pair and returning
+// the complemented handle, so exactly one of f, ¬f owns a node.
 func (m *Manager) mk(lvl uint32, low, high Ref) Ref {
 	if low == high {
 		return low
 	}
+	if !m.noComp && low&compBit != 0 {
+		return m.mkRaw(lvl, low^compBit, high^compBit) ^ compBit
+	}
+	return m.mkRaw(lvl, low, high)
+}
+
+// mkRaw is the unique-table half of mk: hash-cons the exact triple.
+func (m *Manager) mkRaw(lvl uint32, low, high Ref) Ref {
 	st := &m.tables[lvl]
 	b := hash2(low, high, st.mask)
 	for i := st.buckets[b]; i != 0; i = m.nodes[i].next {
@@ -440,7 +547,7 @@ func (m *Manager) SetGCThreshold(n int) { m.gcThreshold = n }
 
 // checkRef panics if f is not a plausible node handle for this manager.
 func (m *Manager) checkRef(f Ref) {
-	if int(f) >= len(m.nodes) {
+	if int(f&^compBit) >= len(m.nodes) {
 		panic(fmt.Sprintf("bdd: invalid ref %d (arena size %d)", f, len(m.nodes)))
 	}
 }

@@ -119,8 +119,11 @@ func TestTerminals(t *testing.T) {
 	if m.Not(True) != False || m.Not(False) != True {
 		t.Fatal("Not on terminals broken")
 	}
-	if m.NumNodes() != 2 {
-		t.Fatalf("fresh manager has %d nodes, want 2", m.NumNodes())
+	if m.NumNodes() != 1 {
+		t.Fatalf("fresh manager has %d nodes, want 1 (single shared terminal)", m.NumNodes())
+	}
+	if True != m.Not(False) {
+		t.Fatal("True must be the complement of False")
 	}
 }
 
@@ -411,8 +414,8 @@ func TestSizeMonotone(t *testing.T) {
 	}
 	for v := 0; v < 8; v++ {
 		f = m.And(f, m.Var(v))
-		if s := m.Size(f); s != v+3 { // chain + two terminals... chain of v+1 nodes + 2 terminals
-			t.Fatalf("Size of %d-var cube = %d, want %d", v+1, s, v+3)
+		if s := m.Size(f); s != v+2 { // chain of v+1 nodes + the shared terminal
+			t.Fatalf("Size of %d-var cube = %d, want %d", v+1, s, v+2)
 		}
 	}
 }

@@ -32,6 +32,10 @@ func (m *Manager) constrain(f, c Ref) Ref {
 	case f == c:
 		return True
 	}
+	if !m.noComp && f == c^compBit {
+		// f is false on all of the care set.
+		return False
+	}
 	if res, ok := m.binCacheGet(opConstrainTag, f, c); ok {
 		return res
 	}
@@ -40,22 +44,21 @@ func (m *Manager) constrain(f, c Ref) Ref {
 	if lc < top {
 		top = lc
 	}
-	cn := m.nodes[c]
 	var res Ref
 	if lc == top {
-		c0, c1 := cn.low, cn.high
+		c0, c1 := m.low(c), m.high(c)
 		switch {
 		case c0 == False:
 			// care set forces the variable true
 			f1 := f
 			if lf == top {
-				f1 = m.nodes[f].high
+				f1 = m.high(f)
 			}
 			res = m.constrain(f1, c1)
 		case c1 == False:
 			f0 := f
 			if lf == top {
-				f0 = m.nodes[f].low
+				f0 = m.low(f)
 			}
 			res = m.constrain(f0, c0)
 		default:
@@ -65,9 +68,8 @@ func (m *Manager) constrain(f, c Ref) Ref {
 			res = m.mk(top, low, high)
 		}
 	} else {
-		fn := m.nodes[f]
-		low := m.constrain(fn.low, c)
-		high := m.constrain(fn.high, c)
+		low := m.constrain(m.low(f), c)
+		high := m.constrain(m.high(f), c)
 		res = m.mk(top, low, high)
 	}
 	m.binCachePut(opConstrainTag, f, c, res)
@@ -101,26 +103,23 @@ func (m *Manager) minimize(f, c Ref) Ref {
 	if lc < lf {
 		// c tests a variable f does not depend on: existentially drop it
 		// instead of introducing it.
-		cn := m.nodes[c]
-		cc := m.ite3(cn.low, True, cn.high) // c0 ∨ c1
+		cc := m.ite3(m.low(c), True, m.high(c)) // c0 ∨ c1
 		res = m.minimize(f, cc)
 	} else if lc == lf {
-		cn := m.nodes[c]
-		fn := m.nodes[f]
+		c0, c1 := m.low(c), m.high(c)
 		switch {
-		case cn.low == False:
-			res = m.minimize(fn.high, cn.high)
-		case cn.high == False:
-			res = m.minimize(fn.low, cn.low)
+		case c0 == False:
+			res = m.minimize(m.high(f), c1)
+		case c1 == False:
+			res = m.minimize(m.low(f), c0)
 		default:
-			low := m.minimize(fn.low, cn.low)
-			high := m.minimize(fn.high, cn.high)
+			low := m.minimize(m.low(f), c0)
+			high := m.minimize(m.high(f), c1)
 			res = m.mk(lf, low, high)
 		}
 	} else {
-		fn := m.nodes[f]
-		low := m.minimize(fn.low, c)
-		high := m.minimize(fn.high, c)
+		low := m.minimize(m.low(f), c)
+		high := m.minimize(m.high(f), c)
 		res = m.mk(lf, low, high)
 	}
 	m.binCachePut(opMinimize, f, c, res)

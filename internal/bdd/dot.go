@@ -8,7 +8,13 @@ import (
 
 // ToDot writes a Graphviz DOT rendering of f. names maps variable index
 // to display name; variables beyond the slice are rendered as "x<i>".
-// Solid edges are then-branches, dashed edges are else-branches.
+//
+// Edge styles follow the usual complement-edge conventions: solid edges
+// are then-branches, dashed edges are else-branches, and a dotted edge
+// is a complemented arc (the function continues at the negation of its
+// target). The single terminal box is the constant 0; the constant 1 is
+// a dotted arc into it. A plaintext legend node spells this out in the
+// rendering itself.
 func (m *Manager) ToDot(w io.Writer, f Ref, names []string) error {
 	name := func(v int) string {
 		if v < len(names) && names[v] != "" {
@@ -20,14 +26,17 @@ func (m *Manager) ToDot(w io.Writer, f Ref, names []string) error {
 		return err
 	}
 	fmt.Fprintln(w, "  rankdir=TB;")
+	fmt.Fprintln(w, `  legend [shape=plaintext, label="solid: then   dashed: else   dotted: complemented"];`)
 	fmt.Fprintln(w, `  node0 [label="0", shape=box];`)
-	fmt.Fprintln(w, `  node1 [label="1", shape=box];`)
 
+	// Collect the plain (sign-stripped) nodes: f and ¬f are the same
+	// picture apart from the root arc's style.
 	seen := make(map[Ref]bool)
 	var order []Ref
 	var collect func(Ref)
 	collect = func(g Ref) {
-		if IsTerminal(g) || seen[g] {
+		g &^= compBit
+		if g == 0 || seen[g] {
 			return
 		}
 		seen[g] = true
@@ -38,16 +47,28 @@ func (m *Manager) ToDot(w io.Writer, f Ref, names []string) error {
 	collect(f)
 	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
 
+	// edge renders one arc with its branch style, switching to dotted
+	// when the target edge is complemented.
+	edge := func(from string, to Ref, elseBranch bool) {
+		style := ""
+		switch {
+		case to&compBit != 0:
+			style = " [style=dotted]"
+		case elseBranch:
+			style = " [style=dashed]"
+		}
+		fmt.Fprintf(w, "  %s -> node%d%s;\n", from, to&^compBit, style)
+	}
+
 	for _, g := range order {
 		n := m.nodes[g]
 		v := m.level2var[n.lvl&^markBit]
 		fmt.Fprintf(w, "  node%d [label=\"%s\", shape=circle];\n", g, name(v))
-		fmt.Fprintf(w, "  node%d -> node%d [style=dashed];\n", g, n.low)
-		fmt.Fprintf(w, "  node%d -> node%d;\n", g, n.high)
+		edge(fmt.Sprintf("node%d", g), n.low, true)
+		edge(fmt.Sprintf("node%d", g), n.high, false)
 	}
-	if IsTerminal(f) {
-		fmt.Fprintf(w, "  root [shape=plaintext, label=\"f\"]; root -> node%d;\n", f)
-	}
+	fmt.Fprintln(w, `  root [shape=plaintext, label="f"];`)
+	edge("root", f, false)
 	_, err := fmt.Fprintln(w, "}")
 	return err
 }

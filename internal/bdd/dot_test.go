@@ -1,0 +1,62 @@
+package bdd
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestToDotGolden pins the DOT rendering of a function/negation pair.
+// With complement edges the two graphs share every node; only the root
+// arc differs (plain for f, dotted for ¬f), and the legend documents
+// the dotted-arc convention. Any representation change that breaks
+// this sharing shows up as a golden diff.
+func TestToDotGolden(t *testing.T) {
+	m := New(2)
+	f := m.And(m.Var(0), m.Not(m.Var(1)))
+
+	cases := []struct {
+		name   string
+		f      Ref
+		golden string
+	}{
+		{"f", f, "dot_f.golden"},
+		{"notf", m.Not(f), "dot_notf.golden"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var sb strings.Builder
+			if err := m.ToDot(&sb, tc.f, []string{"a", "b"}); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", tc.golden)
+			if *updateGolden {
+				if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sb.String() != string(want) {
+				t.Errorf("DOT output differs from %s:\n got:\n%s\nwant:\n%s", path, sb.String(), want)
+			}
+		})
+	}
+
+	// The complement pair must share all nodes: the renderings may only
+	// differ in the style of the root arc.
+	var a, b strings.Builder
+	m.ToDot(&a, f, nil)
+	m.ToDot(&b, m.Not(f), nil)
+	if strings.ReplaceAll(a.String(), "root -> node3 [style=dotted];", "root -> node3;") !=
+		strings.ReplaceAll(b.String(), "root -> node3 [style=dotted];", "root -> node3;") {
+		t.Error("f and ¬f renderings differ beyond the root arc")
+	}
+}

@@ -6,6 +6,9 @@ package bdd
 // protected and registered Refs stay valid; all other Refs obtained
 // before a collection must be considered invalid afterwards. The
 // operation caches are cleared because they may mention freed nodes.
+//
+// Complement bits live on edges, not nodes: marking strips the bit and
+// walks the shared node, so protecting f keeps ¬f alive and vice versa.
 
 // GC collects every node unreachable from the protected and registered
 // roots and returns the number of nodes freed.
@@ -34,8 +37,8 @@ func (m *Manager) GC() int {
 		}
 		st.count = 0
 	}
-	alive := 2 // terminals
-	for i := len(m.nodes) - 1; i >= 2; i-- {
+	alive := 1 // the terminal
+	for i := len(m.nodes) - 1; i >= 1; i-- {
 		n := &m.nodes[i]
 		if n.lvl&markBit != 0 {
 			n.lvl &^= markBit
@@ -71,7 +74,8 @@ func (m *Manager) GC() int {
 
 // mark sets the mark bit on every node reachable from f.
 func (m *Manager) mark(f Ref) {
-	if IsTerminal(f) {
+	f &^= compBit
+	if f == 0 {
 		return
 	}
 	n := &m.nodes[f]

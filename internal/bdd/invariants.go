@@ -13,6 +13,9 @@ import "fmt"
 //   - every live node has a valid level, in-arena non-free children,
 //     strictly increasing levels on every path (child level > node
 //     level), and is reduced (low != high);
+//   - the complement-edge canonical form: no stored else edge carries
+//     the complement bit (with DisableComplementEdges, no stored edge
+//     other than one to the terminal carries it at all);
 //   - no node carries a GC mark bit outside a collection;
 //   - the unique table contains every live node exactly once, in its
 //     own level's subtable in the bucket its child pair hashes to, with
@@ -22,8 +25,11 @@ import "fmt"
 //     stale entries after a reorder, which clears all caches.
 func CheckInvariants(m *Manager) error {
 	n := len(m.nodes)
-	if n < 2 {
-		return fmt.Errorf("bdd: arena has %d nodes; terminals missing", n)
+	if n < 1 {
+		return fmt.Errorf("bdd: arena has %d nodes; terminal missing", n)
+	}
+	if m.nodes[0].lvl != terminalLevel {
+		return fmt.Errorf("bdd: node 0 is not the terminal (lvl %d)", m.nodes[0].lvl)
 	}
 
 	// Variable order maps.
@@ -48,9 +54,6 @@ func CheckInvariants(m *Manager) error {
 		if int(i) >= n {
 			return fmt.Errorf("bdd: free-list entry %d outside arena of %d", i, n)
 		}
-		if i == 1 {
-			return fmt.Errorf("bdd: terminal on the free list")
-		}
 		if onFree[i] {
 			return fmt.Errorf("bdd: free-list cycle at node %d", i)
 		}
@@ -67,7 +70,7 @@ func CheckInvariants(m *Manager) error {
 
 	// Live nodes.
 	numLevels := uint32(len(m.level2var))
-	for i := 2; i < n; i++ {
+	for i := 1; i < n; i++ {
 		if onFree[i] {
 			continue
 		}
@@ -78,14 +81,25 @@ func CheckInvariants(m *Manager) error {
 		if nd.lvl >= numLevels {
 			return fmt.Errorf("bdd: node %d has level %d beyond the %d variables", i, nd.lvl, numLevels)
 		}
-		if int(nd.low) >= n || int(nd.high) >= n {
+		if int(nd.low&^compBit) >= n || int(nd.high&^compBit) >= n {
 			return fmt.Errorf("bdd: node %d has out-of-arena child (%d, %d)", i, nd.low, nd.high)
 		}
-		if !IsTerminal(nd.low) && onFree[nd.low] || !IsTerminal(nd.high) && onFree[nd.high] {
+		if onFree[nd.low&^compBit] || onFree[nd.high&^compBit] {
 			return fmt.Errorf("bdd: node %d references a freed child (%d, %d)", i, nd.low, nd.high)
 		}
 		if nd.low == nd.high {
 			return fmt.Errorf("bdd: node %d is unreduced (low == high == %d)", i, nd.low)
+		}
+		if !m.noComp {
+			if nd.low&compBit != 0 {
+				return fmt.Errorf("bdd: node %d violates canonical form: complemented else edge %d", i, nd.low)
+			}
+		} else {
+			if nd.low&compBit != 0 && nd.low&^compBit != 0 ||
+				nd.high&compBit != 0 && nd.high&^compBit != 0 {
+				return fmt.Errorf("bdd: node %d carries a complement edge (%d, %d) "+
+					"with complement edges disabled", i, nd.low, nd.high)
+			}
 		}
 		if m.level(nd.low) <= nd.lvl || m.level(nd.high) <= nd.lvl {
 			return fmt.Errorf("bdd: node %d at level %d has child at level <= its own "+
@@ -141,13 +155,16 @@ func CheckInvariants(m *Manager) error {
 		}
 		chained += inLevel
 	}
-	if chained != m.numAlloc-2 {
+	if chained != m.numAlloc-1 {
 		return fmt.Errorf("bdd: unique table holds %d nodes, expected %d live non-terminals",
-			chained, m.numAlloc-2)
+			chained, m.numAlloc-1)
 	}
 
 	// Operation caches must not mention freed or out-of-arena nodes.
-	liveRef := func(r Ref) bool { return int(r) < n && (IsTerminal(r) || !onFree[r]) }
+	liveRef := func(r Ref) bool {
+		p := r &^ compBit
+		return int(p) < n && (p == 0 || !onFree[p])
+	}
 	for i := range m.ite {
 		e := &m.ite[i]
 		if !e.valid {

@@ -5,6 +5,11 @@ package bdd
 // computation the result is expressed over v' and must be renamed back to
 // v (and vice versa). Permutations are registered once with
 // NewPermutation so repeated applications share a per-permutation cache.
+//
+// Renaming commutes with negation, so all recursions here split the
+// complement bit off the argument, memoize on the plain ref and re-apply
+// the bit to the result — f and ¬f share one cache entry and one
+// traversal.
 
 // Permutation is a registered variable renaming.
 type Permutation struct {
@@ -45,18 +50,20 @@ func (p *Permutation) apply(f Ref) Ref {
 	if IsTerminal(f) {
 		return f
 	}
-	if r, ok := p.cache[f]; ok {
-		return r
+	s := f & compBit
+	fp := f ^ s
+	if r, ok := p.cache[fp]; ok {
+		return r ^ s
 	}
 	m := p.m
-	n := m.nodes[f]
+	n := m.nodes[fp]
 	low := p.apply(n.low)
 	high := p.apply(n.high)
 	v := m.level2var[n.lvl&^markBit]
 	w := p.varTo[v]
 	res := m.composeVar(w, low, high)
-	p.cache[f] = res
-	return res
+	p.cache[fp] = res
+	return res ^ s
 }
 
 // composeVar builds ITE(Var(w), high, low) efficiently. When the target
@@ -83,10 +90,12 @@ func (m *Manager) Compose(f Ref, v int, g Ref) Ref {
 		if IsTerminal(u) || m.level(u) > lvl {
 			return u
 		}
-		if r, ok := cache[u]; ok {
-			return r
+		s := u & compBit
+		up := u ^ s
+		if r, ok := cache[up]; ok {
+			return r ^ s
 		}
-		n := m.nodes[u]
+		n := m.nodes[up]
 		var res Ref
 		if n.lvl&^markBit == lvl {
 			res = m.ite3(g, n.high, n.low)
@@ -95,8 +104,8 @@ func (m *Manager) Compose(f Ref, v int, g Ref) Ref {
 			high := rec(n.high)
 			res = m.composeVar(m.level2var[n.lvl&^markBit], low, high)
 		}
-		cache[u] = res
-		return res
+		cache[up] = res
+		return res ^ s
 	}
 	return rec(f)
 }
@@ -121,10 +130,12 @@ func (m *Manager) VectorCompose(f Ref, subst map[int]Ref) Ref {
 		if IsTerminal(u) || m.level(u) > maxLvl {
 			return u
 		}
-		if r, ok := cache[u]; ok {
-			return r
+		s := u & compBit
+		up := u ^ s
+		if r, ok := cache[up]; ok {
+			return r ^ s
 		}
-		n := m.nodes[u]
+		n := m.nodes[up]
 		low := rec(n.low)
 		high := rec(n.high)
 		v := m.level2var[n.lvl&^markBit]
@@ -134,8 +145,8 @@ func (m *Manager) VectorCompose(f Ref, subst map[int]Ref) Ref {
 		} else {
 			res = m.composeVar(v, low, high)
 		}
-		cache[u] = res
-		return res
+		cache[up] = res
+		return res ^ s
 	}
 	return rec(f)
 }

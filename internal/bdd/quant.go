@@ -6,6 +6,12 @@ package bdd
 //
 // is provided as the fused AndExists ("relational product"), which avoids
 // building the full conjunction before quantifying.
+//
+// All traversals here go through the sign-aware cofactor helpers: a
+// complemented argument ref pushes its complement bit onto the cofactors
+// rather than being materialized, and the computed caches key on the
+// signed refs, so ∃v.f and ∃v.¬f occupy distinct cache lines (they are
+// distinct functions — quantification does not commute with negation).
 
 // Operation tags for the binary computed cache.
 const (
@@ -33,7 +39,9 @@ func (m *Manager) binCachePut(op uint32, f, g, res Ref) {
 }
 
 // Cube returns the conjunction of the positive literals of vars, the
-// usual encoding of a set of variables to quantify.
+// usual encoding of a set of variables to quantify. Positive cubes have
+// plain (non-complemented) else edges throughout, so the returned ref is
+// never complemented.
 func (m *Manager) Cube(vars []int) Ref {
 	// Build bottom-up in level order for linear size.
 	levels := make([]int, 0, len(vars))
@@ -57,12 +65,11 @@ func (m *Manager) Cube(vars []int) Ref {
 func (m *Manager) CubeVars(cube Ref) []int {
 	var vars []int
 	for !IsTerminal(cube) {
-		n := &m.nodes[cube]
-		vars = append(vars, m.level2var[n.lvl&^markBit])
-		if n.low == False {
-			cube = n.high
+		vars = append(vars, m.level2var[m.level(cube)])
+		if m.low(cube) == False {
+			cube = m.high(cube)
 		} else {
-			cube = n.low
+			cube = m.low(cube)
 		}
 	}
 	return vars
@@ -82,7 +89,7 @@ func (m *Manager) exists(f, cube Ref) Ref {
 	lf := m.level(f)
 	lc := m.level(cube)
 	for lc < lf {
-		cube = m.nodes[cube].high
+		cube = m.high(cube)
 		if cube == True {
 			return f
 		}
@@ -91,20 +98,20 @@ func (m *Manager) exists(f, cube Ref) Ref {
 	if res, ok := m.binCacheGet(opExists, f, cube); ok {
 		return res
 	}
-	n := m.nodes[f]
+	f0, f1 := m.low(f), m.high(f)
 	var res Ref
 	if lf == lc {
 		// Quantify this variable: f|v=0 ∨ f|v=1.
-		low := m.exists(n.low, m.nodes[cube].high)
+		low := m.exists(f0, m.high(cube))
 		if low == True {
 			res = True
 		} else {
-			high := m.exists(n.high, m.nodes[cube].high)
+			high := m.exists(f1, m.high(cube))
 			res = m.ite3(low, True, high)
 		}
 	} else {
-		low := m.exists(n.low, cube)
-		high := m.exists(n.high, cube)
+		low := m.exists(f0, cube)
+		high := m.exists(f1, cube)
 		res = m.mk(lf, low, high)
 	}
 	m.binCachePut(opExists, f, cube, res)
@@ -125,7 +132,7 @@ func (m *Manager) forall(f, cube Ref) Ref {
 	lf := m.level(f)
 	lc := m.level(cube)
 	for lc < lf {
-		cube = m.nodes[cube].high
+		cube = m.high(cube)
 		if cube == True {
 			return f
 		}
@@ -134,19 +141,19 @@ func (m *Manager) forall(f, cube Ref) Ref {
 	if res, ok := m.binCacheGet(opForAll, f, cube); ok {
 		return res
 	}
-	n := m.nodes[f]
+	f0, f1 := m.low(f), m.high(f)
 	var res Ref
 	if lf == lc {
-		low := m.forall(n.low, m.nodes[cube].high)
+		low := m.forall(f0, m.high(cube))
 		if low == False {
 			res = False
 		} else {
-			high := m.forall(n.high, m.nodes[cube].high)
+			high := m.forall(f1, m.high(cube))
 			res = m.ite3(low, high, False)
 		}
 	} else {
-		low := m.forall(n.low, cube)
-		high := m.forall(n.high, cube)
+		low := m.forall(f0, cube)
+		high := m.forall(f1, cube)
 		res = m.mk(lf, low, high)
 	}
 	m.binCachePut(opForAll, f, cube, res)
@@ -190,6 +197,9 @@ func (m *Manager) andExists(f, g, cube Ref) Ref {
 	if f == g {
 		return m.exists(f, cube)
 	}
+	if !m.noComp && f == g^compBit {
+		return False // f ∧ ¬f
+	}
 	if cube == True {
 		return m.ite3(f, g, False)
 	}
@@ -204,7 +214,7 @@ func (m *Manager) andExists(f, g, cube Ref) Ref {
 	}
 	lc := m.level(cube)
 	for lc < top {
-		cube = m.nodes[cube].high
+		cube = m.high(cube)
 		if cube == True {
 			return m.ite3(f, g, False)
 		}
@@ -224,7 +234,7 @@ func (m *Manager) andExists(f, g, cube Ref) Ref {
 
 	var res Ref
 	if top == lc {
-		rest := m.nodes[cube].high
+		rest := m.high(cube)
 		low := m.andExists(f0, g0, rest)
 		if low == True {
 			res = True
@@ -250,7 +260,9 @@ func (m *Manager) Restrict(f Ref, v int, val bool) Ref {
 
 // RestrictCube restricts f by a cube of literals (a conjunction where
 // each mentioned variable appears exactly once, positively or
-// negatively).
+// negatively). Negative literals arrive as complemented refs (NVar is
+// ¬Var under else-edge canonicalization), so the cube walk reads
+// effective — sign-adjusted — children throughout.
 func (m *Manager) RestrictCube(f, litCube Ref) Ref {
 	m.checkRef(f)
 	m.checkRef(litCube)
@@ -266,11 +278,10 @@ func (m *Manager) restrictCube(f, c Ref) Ref {
 	}
 	lf, lc := m.level(f), m.level(c)
 	for lc < lf {
-		cn := &m.nodes[c]
-		if cn.low == False {
-			c = cn.high
+		if m.low(c) == False {
+			c = m.high(c)
 		} else {
-			c = cn.low
+			c = m.low(c)
 		}
 		if c == True {
 			return f
@@ -280,18 +291,16 @@ func (m *Manager) restrictCube(f, c Ref) Ref {
 	if res, ok := m.binCacheGet(opRestrict, f, c); ok {
 		return res
 	}
-	n := m.nodes[f]
 	var res Ref
 	if lf == lc {
-		cn := &m.nodes[c]
-		if cn.low == False { // positive literal: take high branch
-			res = m.restrictCube(n.high, cn.high)
+		if m.low(c) == False { // positive literal: take high branch
+			res = m.restrictCube(m.high(f), m.high(c))
 		} else { // negative literal
-			res = m.restrictCube(n.low, cn.low)
+			res = m.restrictCube(m.low(f), m.low(c))
 		}
 	} else {
-		low := m.restrictCube(n.low, c)
-		high := m.restrictCube(n.high, c)
+		low := m.restrictCube(m.low(f), c)
+		high := m.restrictCube(m.high(f), c)
 		res = m.mk(lf, low, high)
 	}
 	m.binCachePut(opRestrict, f, c, res)
@@ -299,12 +308,14 @@ func (m *Manager) restrictCube(f, c Ref) Ref {
 }
 
 // Support returns the variables f depends on, in increasing level order.
+// f and ¬f share nodes, so the walk is over plain (sign-stripped) refs.
 func (m *Manager) Support(f Ref) []int {
 	seen := make(map[Ref]bool)
 	levels := make(map[uint32]bool)
 	var walk func(Ref)
 	walk = func(g Ref) {
-		if IsTerminal(g) || seen[g] {
+		g &^= compBit
+		if g == 0 || seen[g] {
 			return
 		}
 		seen[g] = true

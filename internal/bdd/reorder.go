@@ -279,14 +279,14 @@ func (m *Manager) freshForReorder(order []int) *Manager {
 		var2level: make([]int, len(order)),
 		level2var: make([]int, len(order)),
 		tables:    make([]subtable, len(order)),
+		noComp:    m.noComp, // trial arenas must share the representation
 	}
 	for l := range fresh.tables {
 		fresh.tables[l] = newSubtable(per)
 	}
-	fresh.nodes = make([]node, 2, m.numAlloc+2)
+	fresh.nodes = make([]node, 1, m.numAlloc+1)
 	fresh.nodes[0] = node{lvl: terminalLevel, low: False, high: False}
-	fresh.nodes[1] = node{lvl: terminalLevel, low: True, high: True}
-	fresh.numAlloc = 2
+	fresh.numAlloc = 1
 	copy(fresh.level2var, order)
 	for l, v := range order {
 		fresh.var2level[v] = l
@@ -323,17 +323,25 @@ func (m *Manager) reorderTo(order []int, extra []Ref, budget int) ([]Ref, bool) 
 
 	// Phase 2: translate.
 	fresh := m.freshForReorder(order)
-	memo := make([]Ref, len(m.nodes)) // old ref -> new ref; 0 = untranslated
+	// memo maps old plain ref -> new plain ref (0 = untranslated). The
+	// sign splits off before the lookup and is re-applied to the result:
+	// translating preserves the function, and a plain canonical ref
+	// denotes a function that is false on the all-false assignment, so
+	// the translation of a plain non-terminal ref is always plain and
+	// non-zero — the 0 sentinel stays unambiguous.
+	memo := make([]Ref, len(m.nodes))
 	aborted := false
 	var translate func(Ref) Ref
 	translate = func(f Ref) Ref {
 		if IsTerminal(f) || aborted {
 			return f
 		}
-		if r := memo[f]; r != 0 {
-			return r
+		s := f & compBit
+		fp := f ^ s
+		if r := memo[fp]; r != 0 {
+			return r ^ s
 		}
-		n := m.nodes[f]
+		n := m.nodes[fp]
 		low := translate(n.low)
 		high := translate(n.high)
 		if aborted {
@@ -345,8 +353,8 @@ func (m *Manager) reorderTo(order []int, extra []Ref, budget int) ([]Ref, bool) 
 			aborted = true
 			return False
 		}
-		memo[f] = res
-		return res
+		memo[fp] = res
+		return res ^ s
 	}
 	for _, r := range collected {
 		translate(r)
@@ -360,10 +368,12 @@ func (m *Manager) reorderTo(order []int, extra []Ref, budget int) ([]Ref, bool) 
 		if IsTerminal(r) {
 			return r
 		}
-		if int(r) >= len(memo) || memo[r] == 0 {
+		s := r & compBit
+		rp := r ^ s
+		if int(rp) >= len(memo) || memo[rp] == 0 {
 			panic("bdd: reorder rewriter returned a ref it did not collect")
 		}
-		return memo[r]
+		return memo[rp] ^ s
 	}
 	out := make([]Ref, len(extra))
 	for i, r := range extra {
@@ -390,16 +400,18 @@ func (m *Manager) reorderTo(order []int, extra []Ref, budget int) ([]Ref, bool) 
 }
 
 // TotalSize returns the number of distinct nodes used by all roots
-// together (shared nodes counted once).
+// together (shared nodes counted once; a root and its complement share
+// everything).
 func (m *Manager) TotalSize(roots []Ref) int {
 	seen := make(map[Ref]bool)
 	var walk func(Ref)
 	walk = func(g Ref) {
+		g &^= compBit
 		if seen[g] {
 			return
 		}
 		seen[g] = true
-		if IsTerminal(g) {
+		if g == 0 {
 			return
 		}
 		n := &m.nodes[g]
@@ -546,7 +558,7 @@ func (m *Manager) siftPass(opts *ReorderOptions) int {
 		}
 	}
 	contrib := make([]int, len(blocks))
-	for i := 2; i < len(m.nodes); i++ {
+	for i := 1; i < len(m.nodes); i++ {
 		lvl := m.nodes[i].lvl &^ markBit
 		if lvl == terminalLevel { // free-list node
 			continue

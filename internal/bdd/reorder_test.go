@@ -287,8 +287,8 @@ func TestRegisteredRefsSurviveGC(t *testing.T) {
 	}
 	m.Unregister(id)
 	m.GC()
-	if m.NumNodes() != 2 {
-		t.Fatalf("after unregister+GC, %d nodes live (want terminals only)", m.NumNodes())
+	if m.NumNodes() != 1 {
+		t.Fatalf("after unregister+GC, %d nodes live (want the terminal only)", m.NumNodes())
 	}
 }
 

@@ -1,17 +1,24 @@
 package bdd
 
 // Satisfying assignments, model counting, evaluation and size metrics.
+// The descents here carry the complement parity explicitly: following an
+// edge xors the parent's complement bit onto the child, and a walk that
+// lands on the terminal reads its accumulated sign (True = complemented
+// terminal). SatCount exploits parity instead of threading it: the
+// density of ¬g is 1 minus the density of g, so the memo table holds
+// plain refs only and f, ¬f share every entry.
 
 // Eval evaluates f under the assignment env (indexed by variable).
 // Variables beyond len(env) are treated as false.
 func (m *Manager) Eval(f Ref, env []bool) bool {
 	for !IsTerminal(f) {
-		n := &m.nodes[f]
+		n := &m.nodes[f&^compBit]
+		s := f & compBit
 		v := m.level2var[n.lvl&^markBit]
 		if v < len(env) && env[v] {
-			f = n.high
+			f = n.high ^ s
 		} else {
-			f = n.low
+			f = n.low ^ s
 		}
 	}
 	return f == True
@@ -30,6 +37,10 @@ func (m *Manager) SatCount(f Ref, nvars int) float64 {
 			return 0
 		case True:
 			return 1
+		}
+		if g&compBit != 0 {
+			// density(¬g) = 1 - density(g): memoize on the plain ref.
+			return 1 - density(g^compBit)
 		}
 		if d, ok := dens[g]; ok {
 			return d
@@ -63,14 +74,15 @@ func (m *Manager) AnySat(f Ref) []int8 {
 		out[i] = -1
 	}
 	for !IsTerminal(f) {
-		n := &m.nodes[f]
+		n := &m.nodes[f&^compBit]
+		s := f & compBit
 		v := m.level2var[n.lvl&^markBit]
-		if n.low != False {
+		if n.low^s != False {
 			out[v] = 0
-			f = n.low
+			f = n.low ^ s
 		} else {
 			out[v] = 1
-			f = n.high
+			f = n.high ^ s
 		}
 	}
 	return out
@@ -174,21 +186,20 @@ func (m *Manager) AllSat(f Ref, vars []int, fn func([]bool) bool) {
 			rec(g, oi+1)
 			return
 		}
+		g0, g1 := m.low(g), m.high(g)
 		if gl < lvl {
 			// g tests a variable not in vars before lvl: existentially
 			// branch through it without recording.
-			n := &m.nodes[g]
-			rec(n.low, oi)
+			rec(g0, oi)
 			if !stop {
-				rec(n.high, oi)
+				rec(g1, oi)
 			}
 			return
 		}
-		n := &m.nodes[g]
 		asg[pos] = false
-		rec(n.low, oi+1)
+		rec(g0, oi+1)
 		asg[pos] = true
-		rec(n.high, oi+1)
+		rec(g1, oi+1)
 	}
 	rec(f, 0)
 }
@@ -198,16 +209,18 @@ func (m *Manager) AllSat(f Ref, vars []int, fn func([]bool) bool) {
 func (m *Manager) existsAll(g Ref) bool { return g != False }
 
 // Size returns the number of distinct nodes reachable from f, including
-// terminals.
+// the terminal. f and ¬f live on the same nodes, so the walk strips
+// complement bits and Size(f) == Size(Not(f)) by construction.
 func (m *Manager) Size(f Ref) int {
 	seen := make(map[Ref]bool)
 	var walk func(Ref)
 	walk = func(g Ref) {
+		g &^= compBit
 		if seen[g] {
 			return
 		}
 		seen[g] = true
-		if IsTerminal(g) {
+		if g == 0 {
 			return
 		}
 		n := &m.nodes[g]

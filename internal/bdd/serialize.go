@@ -6,6 +6,14 @@ package bdd
 // node triples of the reachable subgraph in topological order; loading
 // replays mk() so the result is canonical in the target manager even if
 // its arena layout differs.
+//
+// Format v2 ("GOBDD2\n") carries complement edges: the node table holds
+// plain nodes only (table index 0 is the terminal False) and every edge
+// and root is encoded as (tableIndex << 1) | complementBit, decoded
+// through Not on load — which works whether the target manager uses
+// complement edges or the structural representation. Files written by
+// the v1 format ("GOBDD1\n", two-terminal, no complement bits) are
+// still read; Save always writes v2.
 
 import (
 	"bufio"
@@ -15,12 +23,16 @@ import (
 	"io"
 )
 
-const serialMagic = "GOBDD1\n"
+const (
+	serialMagicV1 = "GOBDD1\n"
+	serialMagicV2 = "GOBDD2\n"
+)
 
-// Save writes the given roots (and the manager's variable order) to w.
+// Save writes the given roots (and the manager's variable order) to w
+// in format v2.
 func (m *Manager) Save(w io.Writer, roots []Ref) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(serialMagic); err != nil {
+	if _, err := bw.WriteString(serialMagicV2); err != nil {
 		return err
 	}
 	writeU32 := func(x uint32) error {
@@ -38,23 +50,33 @@ func (m *Manager) Save(w io.Writer, roots []Ref) error {
 		}
 	}
 
-	// Topological order: children before parents.
-	index := map[Ref]uint32{False: 0, True: 1}
+	// Topological order over plain refs: children before parents. Table
+	// index 0 is the terminal; stored nodes start at 1.
+	index := map[Ref]uint32{0: 0}
 	var order []Ref
 	var visit func(Ref)
 	visit = func(f Ref) {
+		f &^= compBit
 		if _, ok := index[f]; ok {
 			return
 		}
 		n := &m.nodes[f]
 		visit(n.low)
 		visit(n.high)
-		index[f] = uint32(len(order) + 2)
+		index[f] = uint32(len(order) + 1)
 		order = append(order, f)
 	}
 	for _, r := range roots {
 		m.checkRef(r)
 		visit(r)
+	}
+	// encode an edge or root as (tableIndex << 1) | complementBit.
+	enc := func(f Ref) uint32 {
+		e := index[f&^compBit] << 1
+		if f&compBit != 0 {
+			e |= 1
+		}
+		return e
 	}
 
 	if err := writeU32(uint32(len(order))); err != nil {
@@ -65,10 +87,10 @@ func (m *Manager) Save(w io.Writer, roots []Ref) error {
 		if err := writeU32(n.lvl &^ markBit); err != nil {
 			return err
 		}
-		if err := writeU32(index[n.low]); err != nil {
+		if err := writeU32(enc(n.low)); err != nil {
 			return err
 		}
-		if err := writeU32(index[n.high]); err != nil {
+		if err := writeU32(enc(n.high)); err != nil {
 			return err
 		}
 	}
@@ -76,35 +98,46 @@ func (m *Manager) Save(w io.Writer, roots []Ref) error {
 		return err
 	}
 	for _, r := range roots {
-		if err := writeU32(index[r]); err != nil {
+		if err := writeU32(enc(r)); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
 }
 
-// Load reads roots previously written by Save into the manager. The
+// Load reads roots previously written by Save into the manager,
+// accepting both the current v2 format and legacy v1 files. The
 // manager must have at least as many variables as the saved order; the
 // saved levels are interpreted through the *saved* order, i.e. the
 // function is reconstructed over the same variable indices it was
 // built over (levels follow the target manager's current order).
 func (m *Manager) Load(r io.Reader) ([]Ref, error) {
 	br := bufio.NewReader(r)
-	magic := make([]byte, len(serialMagic))
+	magic := make([]byte, len(serialMagicV2))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, err
 	}
-	if string(magic) != serialMagic {
-		return nil, errors.New("bdd: bad magic (not a saved BDD)")
+	switch string(magic) {
+	case serialMagicV2:
+		return m.loadV2(br)
+	case serialMagicV1:
+		return m.loadV1(br)
 	}
-	readU32 := func() (uint32, error) {
-		var buf [4]byte
-		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			return 0, err
-		}
-		return binary.LittleEndian.Uint32(buf[:]), nil
+	return nil, errors.New("bdd: bad magic (not a saved BDD)")
+}
+
+func readU32From(br *bufio.Reader) (uint32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(br, buf[:]); err != nil {
+		return 0, err
 	}
-	nvars, err := readU32()
+	return binary.LittleEndian.Uint32(buf[:]), nil
+}
+
+// loadOrder reads the variable count and saved level-to-variable map
+// shared by both format versions.
+func (m *Manager) loadOrder(br *bufio.Reader) ([]int, error) {
+	nvars, err := readU32From(br)
 	if err != nil {
 		return nil, err
 	}
@@ -113,7 +146,7 @@ func (m *Manager) Load(r io.Reader) ([]Ref, error) {
 	}
 	savedLevel2Var := make([]int, nvars)
 	for i := range savedLevel2Var {
-		v, err := readU32()
+		v, err := readU32From(br)
 		if err != nil {
 			return nil, err
 		}
@@ -122,8 +155,93 @@ func (m *Manager) Load(r io.Reader) ([]Ref, error) {
 		}
 		savedLevel2Var[i] = int(v)
 	}
+	return savedLevel2Var, nil
+}
 
-	nnodes, err := readU32()
+// loadV2 reads the body of a v2 file: plain node triples with
+// sign-encoded edges and roots.
+func (m *Manager) loadV2(br *bufio.Reader) ([]Ref, error) {
+	savedLevel2Var, err := m.loadOrder(br)
+	if err != nil {
+		return nil, err
+	}
+	nvars := uint32(len(savedLevel2Var))
+
+	nnodes, err := readU32From(br)
+	if err != nil {
+		return nil, err
+	}
+	table := make([]Ref, nnodes+1)
+	table[0] = False
+	// dec resolves a sign-encoded edge against the already-built prefix.
+	dec := func(e, limit uint32) (Ref, error) {
+		if e>>1 >= limit {
+			return 0, errors.New("bdd: corrupt edge record")
+		}
+		f := table[e>>1]
+		if e&1 != 0 {
+			f = m.Not(f)
+		}
+		return f, nil
+	}
+	for i := uint32(0); i < nnodes; i++ {
+		lvl, err := readU32From(br)
+		if err != nil {
+			return nil, err
+		}
+		lowEnc, err := readU32From(br)
+		if err != nil {
+			return nil, err
+		}
+		highEnc, err := readU32From(br)
+		if err != nil {
+			return nil, err
+		}
+		if lvl >= nvars {
+			return nil, errors.New("bdd: corrupt node record")
+		}
+		low, err := dec(lowEnc, i+1)
+		if err != nil {
+			return nil, err
+		}
+		high, err := dec(highEnc, i+1)
+		if err != nil {
+			return nil, err
+		}
+		v := savedLevel2Var[lvl]
+		// Rebuild through ITE so a different variable order in the
+		// target manager still yields the correct (canonical) function.
+		table[i+1] = m.ite3(m.Var(v), high, low)
+	}
+	nroots, err := readU32From(br)
+	if err != nil {
+		return nil, err
+	}
+	roots := make([]Ref, nroots)
+	for i := range roots {
+		e, err := readU32From(br)
+		if err != nil {
+			return nil, err
+		}
+		f, err := dec(e, uint32(len(table)))
+		if err != nil {
+			return nil, errors.New("bdd: corrupt root record")
+		}
+		roots[i] = f
+	}
+	return roots, nil
+}
+
+// loadV1 reads the body of a legacy v1 file: two-terminal node table
+// (indices 0 and 1 are False and True), no complement bits.
+func (m *Manager) loadV1(br *bufio.Reader) ([]Ref, error) {
+	savedLevel2Var, err := m.loadOrder(br)
+	if err != nil {
+		return nil, err
+	}
+	nvars := uint32(len(savedLevel2Var))
+
+	nnodes, err := readU32From(br)
 	if err != nil {
 		return nil, err
 	}
@@ -131,15 +249,15 @@ func (m *Manager) Load(r io.Reader) ([]Ref, error) {
 	table[0] = False
 	table[1] = True
 	for i := uint32(0); i < nnodes; i++ {
-		lvl, err := readU32()
+		lvl, err := readU32From(br)
 		if err != nil {
 			return nil, err
 		}
-		lowIdx, err := readU32()
+		lowIdx, err := readU32From(br)
 		if err != nil {
 			return nil, err
 		}
-		highIdx, err := readU32()
+		highIdx, err := readU32From(br)
 		if err != nil {
 			return nil, err
 		}
@@ -148,17 +266,15 @@ func (m *Manager) Load(r io.Reader) ([]Ref, error) {
 		}
 		v := savedLevel2Var[lvl]
 		low, high := table[lowIdx], table[highIdx]
-		// Rebuild through ITE so a different variable order in the
-		// target manager still yields the correct (canonical) function.
 		table[i+2] = m.ite3(m.Var(v), high, low)
 	}
-	nroots, err := readU32()
+	nroots, err := readU32From(br)
 	if err != nil {
 		return nil, err
 	}
 	roots := make([]Ref, nroots)
 	for i := range roots {
-		idx, err := readU32()
+		idx, err := readU32From(br)
 		if err != nil {
 			return nil, err
 		}

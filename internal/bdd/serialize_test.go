@@ -2,6 +2,7 @@ package bdd
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
 	"strings"
 	"testing"
@@ -81,6 +82,95 @@ func TestSaveLoadTerminals(t *testing.T) {
 	}
 	if roots[0] != True || roots[1] != False {
 		t.Fatal("terminal round trip failed")
+	}
+}
+
+// TestSaveLoadComplementCrossMode is the v2 round-trip property over
+// complemented refs: random functions and their negations are saved
+// from a manager in either representation and loaded into a manager in
+// either representation. All four pairings must reproduce the exact
+// function, and a saved f/¬f pair must load as a complement pair.
+func TestSaveLoadComplementCrossMode(t *testing.T) {
+	r := rand.New(rand.NewSource(65))
+	const n = 5
+	modes := []struct {
+		name string
+		opts []Option
+	}{
+		{"comp", nil},
+		{"nocomp", []Option{DisableComplementEdges()}},
+	}
+	for _, src := range modes {
+		for _, dst := range modes {
+			t.Run(src.name+"_to_"+dst.name, func(t *testing.T) {
+				for trial := 0; trial < 20; trial++ {
+					m := New(n, src.opts...)
+					f, ref := randPair(r, m, n, 4)
+					var buf bytes.Buffer
+					if err := m.Save(&buf, []Ref{f, m.Not(f)}); err != nil {
+						t.Fatal(err)
+					}
+					m2 := New(n, dst.opts...)
+					roots, err := m2.Load(bytes.NewReader(buf.Bytes()))
+					if err != nil {
+						t.Fatal(err)
+					}
+					checkAgainstTT(t, m2, roots[0], ref, "loaded f")
+					checkAgainstTT(t, m2, roots[1], ref.not(), "loaded ¬f")
+					if roots[1] != m2.Not(roots[0]) {
+						t.Fatal("loaded pair is not a canonical complement pair")
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestLoadV1Legacy feeds a hand-assembled legacy v1 file (two-terminal
+// table, no complement bits) to Load and checks the functions come back
+// intact in both representations.
+func TestLoadV1Legacy(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("GOBDD1\n")
+	u32 := func(xs ...uint32) {
+		for _, x := range xs {
+			var b [4]byte
+			binary.LittleEndian.PutUint32(b[:], x)
+			buf.Write(b[:])
+		}
+	}
+	u32(2)       // nvars
+	u32(0)       // level 0 holds variable 0
+	u32(1)       // level 1 holds variable 1
+	u32(3)       // node count (table indices 0,1 are the terminals)
+	u32(1, 0, 1) // idx 2: x1       (level 1, low=False, high=True)
+	u32(1, 1, 0) // idx 3: ¬x1      (level 1, low=True, high=False)
+	u32(0, 2, 3) // idx 4: x0 ⊕ x1  (level 0, low=x1, high=¬x1)
+	u32(2)       // root count
+	u32(4, 1)    // roots: x0 ⊕ x1, True
+
+	want := ttVar(2, 0).xor(ttVar(2, 1))
+	for _, tc := range []struct {
+		name string
+		opts []Option
+	}{
+		{"comp", nil},
+		{"nocomp", []Option{DisableComplementEdges()}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := New(2, tc.opts...)
+			roots, err := m.Load(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(roots) != 2 {
+				t.Fatalf("got %d roots", len(roots))
+			}
+			checkAgainstTT(t, m, roots[0], want, "v1 xor")
+			if roots[1] != True {
+				t.Fatal("v1 terminal root did not load as True")
+			}
+		})
 	}
 }
 

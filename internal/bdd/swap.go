@@ -42,6 +42,15 @@ import (
 // so equal X-cofactors are shared rather than duplicated. Case B cannot
 // produce an unreduced node: newLow == newHigh would force f0 == f1.
 //
+// Complement edges survive the swap through mk itself. An upper node's
+// stored else edge f0 is plain, so its else-cofactor f00 is plain and
+// the rebuilt else child mk(l+1, f00, f10) comes out plain — the
+// relabeled node keeps a canonical (non-complemented) else edge without
+// any fixup. The then edge f1 (and the then-cofactors f01, f11) may be
+// complemented; their signs are pushed through to the extracted
+// cofactors and mk's normalization does the rest. Session refcounts are
+// indexed by plain node, since f and ¬f are one node.
+//
 // Liveness during a sift is tracked by a session-scoped refcount array
 // (siftState): in-edges of live nodes plus one per protected root and
 // per rewriter-held ref. Counts can transiently reach zero and be
@@ -59,22 +68,24 @@ type siftState struct {
 	timedOut      bool     // SiftMaxTime expired
 }
 
-// bump counts one new reference to f.
+// bump counts one new reference to f's node (sign-stripped: f and ¬f
+// share one count).
 func (st *siftState) bump(f Ref) {
 	if !IsTerminal(f) {
-		st.rc[f]++
+		st.rc[f&^compBit]++
 	}
 }
 
-// drop removes one reference to f, queuing it for reaping at zero.
+// drop removes one reference to f's node, queuing it for reaping at zero.
 func (st *siftState) drop(f Ref) {
 	if IsTerminal(f) {
 		return
 	}
-	st.rc[f]--
-	if st.rc[f] == 0 {
-		st.zero = append(st.zero, uint32(f))
-	} else if st.rc[f] < 0 {
+	i := f &^ compBit
+	st.rc[i]--
+	if st.rc[i] == 0 {
+		st.zero = append(st.zero, uint32(i))
+	} else if st.rc[i] < 0 {
 		panic("bdd: swap refcount underflow")
 	}
 }
@@ -84,7 +95,7 @@ func (st *siftState) drop(f Ref) {
 // by their terminalLevel sentinel), which SiftNow guarantees.
 func (m *Manager) beginSwapSession() {
 	st := &siftState{rc: make([]int32, len(m.nodes))}
-	for i := 2; i < len(m.nodes); i++ {
+	for i := 1; i < len(m.nodes); i++ {
 		n := &m.nodes[i]
 		if n.lvl == terminalLevel { // free slot
 			continue
@@ -201,7 +212,7 @@ func (m *Manager) swapLevels(l int) {
 	caseB := st.upper[:0] // compacts in place behind the read index
 	for _, u := range st.upper {
 		n := &m.nodes[u]
-		if m.nodes[n.low].lvl != lvlL && m.nodes[n.high].lvl != lvlL {
+		if m.nodes[n.low&^compBit].lvl != lvlL && m.nodes[n.high&^compBit].lvl != lvlL {
 			n.lvl = lvlL
 			m.insertNode(u)
 		} else {
@@ -216,12 +227,14 @@ func (m *Manager) swapLevels(l int) {
 		n := m.nodes[u] // copy: the arena may grow under swapMk below
 		f0, f1 := n.low, n.high
 		f00, f01 := f0, f0
-		if m.nodes[f0].lvl == lvlL {
-			f00, f01 = m.nodes[f0].low, m.nodes[f0].high
+		if p := f0 &^ compBit; m.nodes[p].lvl == lvlL {
+			s := f0 & compBit
+			f00, f01 = m.nodes[p].low^s, m.nodes[p].high^s
 		}
 		f10, f11 := f1, f1
-		if m.nodes[f1].lvl == lvlL {
-			f10, f11 = m.nodes[f1].low, m.nodes[f1].high
+		if p := f1 &^ compBit; m.nodes[p].lvl == lvlL {
+			s := f1 & compBit
+			f10, f11 = m.nodes[p].low^s, m.nodes[p].high^s
 		}
 		newLow := m.swapMk(lvlL, f00, f10)
 		newHigh := m.swapMk(lvlL, f01, f11)

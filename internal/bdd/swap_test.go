@@ -75,10 +75,12 @@ func TestSwapRefStability(t *testing.T) {
 		for step := 0; step < 15; step++ {
 			l := r.Intn(n - 1)
 
+			// Track plain (sign-stripped) refs: f and ¬f are one node.
 			reach := make(map[Ref]node)
 			var walk func(Ref)
 			walk = func(f Ref) {
-				if IsTerminal(f) {
+				f &^= compBit
+				if f == 0 {
 					return
 				}
 				if _, ok := reach[f]; ok {
@@ -262,7 +264,7 @@ func TestLevelCountsAndTopLevels(t *testing.T) {
 		counts := m.LevelCounts()
 		scan := make([]int, n)
 		total := 0
-		for i := 2; i < len(m.nodes); i++ {
+		for i := 1; i < len(m.nodes); i++ {
 			if lvl := m.nodes[i].lvl &^ markBit; lvl != terminalLevel {
 				scan[lvl]++
 				total++
@@ -273,8 +275,8 @@ func TestLevelCountsAndTopLevels(t *testing.T) {
 				t.Fatalf("%s: LevelCounts[%d] = %d, arena scan says %d", when, l, counts[l], scan[l])
 			}
 		}
-		if total != m.NumNodes()-2 {
-			t.Fatalf("%s: counts sum %d, live non-terminals %d", when, total, m.NumNodes()-2)
+		if total != m.NumNodes()-1 {
+			t.Fatalf("%s: counts sum %d, live non-terminals %d", when, total, m.NumNodes()-1)
 		}
 		top := m.TopLevels(3)
 		for i := 1; i < len(top); i++ {

@@ -13,9 +13,11 @@ package bdd
 // NewWithOrder creates a Manager over len(order) variables whose
 // initial variable order places order[i] at level i (order must be a
 // permutation of 0..len(order)-1). The arena starts empty apart from
-// the terminals, so installing the order is free.
-func NewWithOrder(order []int) *Manager {
-	m := New(len(order))
+// the terminal, so installing the order is free. Options (e.g.
+// DisableComplementEdges) apply as in New; scratch managers minted for
+// CopyTo must use the same representation as the source.
+func NewWithOrder(order []int, opts ...Option) *Manager {
+	m := New(len(order), opts...)
 	m.validateOrder(order)
 	copy(m.level2var, order)
 	for l, v := range order {
@@ -30,7 +32,10 @@ func NewWithOrder(order []int) *Manager {
 // the copy re-creates each node at its source level through dst's
 // unique table, and a mismatched order would silently assemble a
 // diagram violating the ordering invariant, so CopyTo verifies the
-// orders agree and panics otherwise.
+// orders agree and panics otherwise. The managers must also agree on
+// the node representation (complement edges on or off): a structural
+// copy across representations would plant complemented edges in a
+// manager whose algorithms assume there are none, so that too panics.
 //
 // CopyTo only reads m and only writes dst. That asymmetry is what makes
 // the scratch-arena concurrency model work: a coordinator goroutine may
@@ -41,6 +46,9 @@ func (m *Manager) CopyTo(dst *Manager, f Ref) Ref {
 	if dst == m {
 		return f
 	}
+	if dst.noComp != m.noComp {
+		panic("bdd: CopyTo between managers with different node representations")
+	}
 	if len(dst.level2var) != len(m.level2var) {
 		panic("bdd: CopyTo between managers with different variable counts")
 	}
@@ -49,21 +57,28 @@ func (m *Manager) CopyTo(dst *Manager, f Ref) Ref {
 			panic("bdd: CopyTo between managers with different variable orders")
 		}
 	}
+	// Memoize on plain refs: f and ¬f share the same copied subgraph,
+	// and a plain source ref always copies to a plain destination ref
+	// (stored else edges are plain, so the sign of a canonical ref is
+	// determined by the function's value at the all-false assignment,
+	// which the copy preserves).
 	memo := make(map[Ref]Ref)
 	var walk func(Ref) Ref
 	walk = func(g Ref) Ref {
 		if IsTerminal(g) {
 			return g
 		}
-		if r, ok := memo[g]; ok {
-			return r
+		s := g & compBit
+		gp := g ^ s
+		if r, ok := memo[gp]; ok {
+			return r ^ s
 		}
-		n := m.nodes[g]
+		n := m.nodes[gp]
 		low := walk(n.low)
 		high := walk(n.high)
 		r := dst.mk(n.lvl&^markBit, low, high)
-		memo[g] = r
-		return r
+		memo[gp] = r
+		return r ^ s
 	}
 	return walk(f)
 }

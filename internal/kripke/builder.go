@@ -21,8 +21,10 @@ type Builder struct {
 	DisablePartition bool
 }
 
-// NewBuilder creates a builder over the given state variables.
-func NewBuilder(names []string) *Builder {
+// NewBuilder creates a builder over the given state variables. Manager
+// options (e.g. bdd.DisableComplementEdges) apply to the structure's
+// fresh BDD manager.
+func NewBuilder(names []string, opts ...bdd.Option) *Builder {
 	seen := map[string]bool{}
 	for _, n := range names {
 		if seen[n] {
@@ -30,7 +32,7 @@ func NewBuilder(names []string) *Builder {
 		}
 		seen[n] = true
 	}
-	b := &Builder{S: NewSymbolic(names), index: map[string]int{}}
+	b := &Builder{S: NewSymbolic(names, opts...), index: map[string]int{}}
 	for i, n := range names {
 		b.index[n] = i
 	}

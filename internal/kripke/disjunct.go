@@ -326,7 +326,13 @@ func (s *Symbolic) disjunctApplyParallel(args []bdd.Ref, pre bool) bdd.Ref {
 		}
 		sc := &d.scratch[i]
 		if !sc.valid {
-			sc.m = bdd.NewWithOrder(m.Order())
+			// Scratch arenas must share the main manager's node
+			// representation or CopyTo would refuse the transfer.
+			var opts []bdd.Option
+			if m.ComplementEdgesDisabled() {
+				opts = append(opts, bdd.DisableComplementEdges())
+			}
+			sc.m = bdd.NewWithOrder(m.Order(), opts...)
 			sc.haveRel = false
 			sc.valid = true
 		}

@@ -81,13 +81,41 @@ type RelStats struct {
 	ParallelBatches  uint64
 	ScratchPeakNodes int
 	PeakLiveNodes    int
+
+	// Computed-cache traffic of the underlying manager (ITE, binary and
+	// AndExists lookups all funnel through these counters) accumulated
+	// since the last ResetRelStats, and the unique-table load factor
+	// sampled when RelStats() is called. Together they make the
+	// normalization win of complement edges visible without a profiler:
+	// higher hit rate, same load, fewer nodes.
+	CacheLookups    uint64
+	CacheHits       uint64
+	UniqueTableLoad float64
+}
+
+// CacheHitRate returns the computed-cache hit rate in [0,1], or 0 when
+// no lookups have happened yet.
+func (r RelStats) CacheHitRate() float64 {
+	if r.CacheLookups == 0 {
+		return 0
+	}
+	return float64(r.CacheHits) / float64(r.CacheLookups)
 }
 
 // RelStats returns the accumulated relational-product counters.
-func (s *Symbolic) RelStats() RelStats { return s.relStats }
+func (s *Symbolic) RelStats() RelStats {
+	out := s.relStats
+	out.CacheLookups = s.M.Stats.CacheLookups - s.stats0.CacheLookups
+	out.CacheHits = s.M.Stats.CacheHits - s.stats0.CacheHits
+	out.UniqueTableLoad = s.M.UniqueTableLoadFactor()
+	return out
+}
 
 // ResetRelStats zeroes the relational-product counters.
-func (s *Symbolic) ResetRelStats() { s.relStats = RelStats{} }
+func (s *Symbolic) ResetRelStats() {
+	s.relStats = RelStats{}
+	s.stats0 = s.M.Stats
+}
 
 func (s *Symbolic) noteLiveNodes() {
 	if n := s.M.NumNodes(); n > s.relStats.PeakLiveNodes {

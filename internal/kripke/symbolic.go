@@ -64,6 +64,7 @@ type Symbolic struct {
 	disjOn   bool       // EnableDisjunct(true): use the disjunctive image
 	workers  int        // goroutines for the disjunctive image (<=1: sequential)
 	relStats RelStats
+	stats0   bdd.Stats // manager counters at the last ResetRelStats (cache-rate deltas)
 
 	hasSucc      bdd.Ref // cached ∃v′.Trans (IsTotal, DeadlockStates)
 	hasSuccValid bool
@@ -71,9 +72,11 @@ type Symbolic struct {
 
 // NewSymbolic allocates a symbolic structure with the given state
 // variable names. Transition relation and initial states start as True
-// (callers and builders conjoin constraints in).
-func NewSymbolic(names []string) *Symbolic {
-	m := bdd.New(2 * len(names))
+// (callers and builders conjoin constraints in). Manager options (e.g.
+// bdd.DisableComplementEdges for the structural-representation oracle)
+// pass through to the underlying bdd.New.
+func NewSymbolic(names []string, opts ...bdd.Option) *Symbolic {
+	m := bdd.New(2*len(names), opts...)
 	s := &Symbolic{
 		M:          m,
 		trans:      bdd.True,

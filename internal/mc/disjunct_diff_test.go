@@ -22,7 +22,7 @@ import (
 // variables in its turn while the rest are framed. The monolithic
 // relation, the per-variable conjunctive clusters and the per-process
 // disjunctive components are all installed on the one structure.
-func randomInterleavedModel(r *rand.Rand, nData, nSched, nfair int) *kripke.Symbolic {
+func randomInterleavedModel(r *rand.Rand, nData, nSched, nfair int, opts ...bdd.Option) *kripke.Symbolic {
 	names := make([]string, nData+nSched)
 	for i := 0; i < nData; i++ {
 		names[i] = fmt.Sprintf("v%d", i)
@@ -30,7 +30,7 @@ func randomInterleavedModel(r *rand.Rand, nData, nSched, nfair int) *kripke.Symb
 	for i := 0; i < nSched; i++ {
 		names[nData+i] = fmt.Sprintf("sch%d", i)
 	}
-	s := kripke.NewSymbolic(names)
+	s := kripke.NewSymbolic(names, opts...)
 	m := s.M
 
 	randomFunc := func(n int) bdd.Ref {
@@ -102,9 +102,18 @@ func randomInterleavedModel(r *rand.Rand, nData, nSched, nfair int) *kripke.Symb
 }
 
 func TestDisjunctPreimageDifferentialOracle(t *testing.T) {
+	for _, mode := range complementModes {
+		mode := mode
+		t.Run(mode.name, func(t *testing.T) {
+			testDisjunctPreimage(t, mode.opts)
+		})
+	}
+}
+
+func testDisjunctPreimage(t *testing.T, opts []bdd.Option) {
 	r := rand.New(rand.NewSource(6823))
 	for trial := 0; trial < 100; trial++ {
-		s := randomInterleavedModel(r, 3+r.Intn(3), 1+r.Intn(2), 0)
+		s := randomInterleavedModel(r, 3+r.Intn(3), 1+r.Intn(2), 0, opts...)
 		if trial%2 == 1 {
 			s.SetWorkers(3)
 		}
@@ -129,11 +138,20 @@ func TestDisjunctPreimageDifferentialOracle(t *testing.T) {
 }
 
 func TestDisjunctCheckInitDifferentialOracle(t *testing.T) {
+	for _, mode := range complementModes {
+		mode := mode
+		t.Run(mode.name, func(t *testing.T) {
+			testDisjunctCheckInit(t, mode.opts)
+		})
+	}
+}
+
+func testDisjunctCheckInit(t *testing.T, opts []bdd.Option) {
 	r := rand.New(rand.NewSource(9157))
 	for trial := 0; trial < 60; trial++ {
 		// trial%3 fairness sets: FairEG must work unchanged over the
 		// disjunctive image.
-		s := randomInterleavedModel(r, 3+r.Intn(2), 1, trial%3)
+		s := randomInterleavedModel(r, 3+r.Intn(2), 1, trial%3, opts...)
 		atoms := s.VarNames()[:2]
 
 		s.EnableDisjunct(true)

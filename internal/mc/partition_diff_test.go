@@ -16,17 +16,30 @@ import (
 // Preimage/Image on random state sets, and verdict-for-verdict for
 // CheckInit on random CTL formulas.
 
+// complementModes parametrizes the differential oracles by node
+// representation: every oracle runs once on a complement-edge manager
+// and once on the structural reference (DisableComplementEdges), with
+// identical random streams, so the two representations are checked
+// against the monolithic oracle under the exact same workload.
+var complementModes = []struct {
+	name string
+	opts []bdd.Option
+}{
+	{"comp", nil},
+	{"nocomp", []bdd.Option{bdd.DisableComplementEdges()}},
+}
+
 // randomFactoredModel builds a random model through the Builder so a
 // conjunctive partition is installed: each variable gets a random
 // next-state function (deterministic, delayed-choice, or free), and the
 // structure optionally carries random fairness constraints. The
 // per-variable constraints keep the relation total by construction.
-func randomFactoredModel(r *rand.Rand, nvars, nfair int) *kripke.Symbolic {
+func randomFactoredModel(r *rand.Rand, nvars, nfair int, opts ...bdd.Option) *kripke.Symbolic {
 	names := make([]string, nvars)
 	for i := range names {
 		names[i] = fmt.Sprintf("v%d", i)
 	}
-	b := kripke.NewBuilder(names)
+	b := kripke.NewBuilder(names, opts...)
 	m := b.S.M
 
 	// randomFunc: a random boolean function over a couple of current-state
@@ -90,37 +103,51 @@ func randomStateSet(r *rand.Rand, s *kripke.Symbolic) bdd.Ref {
 }
 
 func TestPartitionedPreimageDifferentialOracle(t *testing.T) {
-	r := rand.New(rand.NewSource(4711))
-	trials := 200
-	partitioned := 0
-	for trial := 0; trial < trials; trial++ {
-		s := randomFactoredModel(r, 3+r.Intn(4), trial%3)
-		if s.HasClusters() {
-			partitioned++
-		}
-		for i := 0; i < 4; i++ {
-			set := randomStateSet(r, s)
-			s.EnablePartition(true)
-			prePart := s.Preimage(set)
-			imgPart := s.Image(set)
-			s.EnablePartition(false)
-			preMono := s.Preimage(set)
-			imgMono := s.Image(set)
-			s.EnablePartition(true)
-			if prePart != preMono {
-				t.Fatalf("trial %d: partitioned Preimage differs from monolithic oracle", trial)
+	for _, mode := range complementModes {
+		mode := mode
+		t.Run(mode.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(4711))
+			trials := 200
+			partitioned := 0
+			for trial := 0; trial < trials; trial++ {
+				s := randomFactoredModel(r, 3+r.Intn(4), trial%3, mode.opts...)
+				if s.HasClusters() {
+					partitioned++
+				}
+				for i := 0; i < 4; i++ {
+					set := randomStateSet(r, s)
+					s.EnablePartition(true)
+					prePart := s.Preimage(set)
+					imgPart := s.Image(set)
+					s.EnablePartition(false)
+					preMono := s.Preimage(set)
+					imgMono := s.Image(set)
+					s.EnablePartition(true)
+					if prePart != preMono {
+						t.Fatalf("trial %d: partitioned Preimage differs from monolithic oracle", trial)
+					}
+					if imgPart != imgMono {
+						t.Fatalf("trial %d: partitioned Image differs from monolithic oracle", trial)
+					}
+				}
 			}
-			if imgPart != imgMono {
-				t.Fatalf("trial %d: partitioned Image differs from monolithic oracle", trial)
+			if partitioned < trials/2 {
+				t.Fatalf("only %d/%d random models got a partition — generator too weak", partitioned, trials)
 			}
-		}
-	}
-	if partitioned < trials/2 {
-		t.Fatalf("only %d/%d random models got a partition — generator too weak", partitioned, trials)
+		})
 	}
 }
 
 func TestPartitionedCheckInitDifferentialOracle(t *testing.T) {
+	for _, mode := range complementModes {
+		mode := mode
+		t.Run(mode.name, func(t *testing.T) {
+			testPartitionedCheckInit(t, mode.opts)
+		})
+	}
+}
+
+func testPartitionedCheckInit(t *testing.T, opts []bdd.Option) {
 	r := rand.New(rand.NewSource(2718))
 	atomsFor := func(s *kripke.Symbolic) []string {
 		names := s.VarNames()
@@ -130,7 +157,7 @@ func TestPartitionedCheckInitDifferentialOracle(t *testing.T) {
 		return names
 	}
 	for trial := 0; trial < 120; trial++ {
-		s := randomFactoredModel(r, 3+r.Intn(3), trial%3)
+		s := randomFactoredModel(r, 3+r.Intn(3), trial%3, opts...)
 		atoms := atomsFor(s)
 		formulas := make([]*struct {
 			f       string

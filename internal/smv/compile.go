@@ -76,9 +76,33 @@ type valCase struct {
 	cond bdd.Ref
 }
 
+// CompileOptions carries engine settings that must be fixed before the
+// symbolic structure's BDD manager exists.
+type CompileOptions struct {
+	// DisableComplementEdges compiles onto a manager using the legacy
+	// structural node representation (bdd.DisableComplementEdges). Used
+	// by the differential suites as the oracle for the complement-edge
+	// engine; verdicts and traces must not depend on it.
+	DisableComplementEdges bool
+}
+
+// bddOptions lowers the compile options to manager options.
+func (o CompileOptions) bddOptions() []bdd.Option {
+	var opts []bdd.Option
+	if o.DisableComplementEdges {
+		opts = append(opts, bdd.DisableComplementEdges())
+	}
+	return opts
+}
+
 // Compile type-checks and compiles the module into a symbolic structure.
 func Compile(m *Module) (*Compiled, error) {
-	return compile(m, nil)
+	return compile(m, nil, CompileOptions{})
+}
+
+// CompileWith is Compile with explicit engine options.
+func CompileWith(m *Module, opts CompileOptions) (*Compiled, error) {
+	return compile(m, nil, opts)
 }
 
 // compile is the engine behind Compile and CompileLTL. When la is
@@ -89,7 +113,7 @@ func Compile(m *Module) (*Compiled, error) {
 // product flows through the same early-quantified and Shannon-expanded
 // image paths as the model relation — and the generalized-Büchi sets
 // are appended after the model's FAIRNESS constraints.
-func compile(m *Module, la *ltlAttachment) (*Compiled, error) {
+func compile(m *Module, la *ltlAttachment, opts CompileOptions) (*Compiled, error) {
 	c := &Compiled{
 		Module:  m,
 		Vars:    map[string]*VarInfo{},
@@ -146,7 +170,7 @@ func compile(m *Module, la *ltlAttachment) (*Compiled, error) {
 		}
 	}
 
-	c.S = kripke.NewSymbolic(names)
+	c.S = kripke.NewSymbolic(names, opts.bddOptions()...)
 	mgr := c.S.M
 
 	// Domain-validity invariant for domains that are not powers of two.
@@ -343,11 +367,16 @@ func (c *Compiled) rewriteRefs(translate func(bdd.Ref) bdd.Ref) {
 
 // CompileSource parses and compiles in one step.
 func CompileSource(src string) (*Compiled, error) {
+	return CompileSourceWith(src, CompileOptions{})
+}
+
+// CompileSourceWith is CompileSource with explicit engine options.
+func CompileSourceWith(src string, opts CompileOptions) (*Compiled, error) {
 	m, err := ParseModule(src)
 	if err != nil {
 		return nil, err
 	}
-	return Compile(m)
+	return CompileWith(m, opts)
 }
 
 func bitsFor(n int) int {

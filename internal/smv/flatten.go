@@ -53,6 +53,11 @@ func ParseProgram(src string) (Program, error) {
 
 // CompileProgram parses, flattens and compiles a multi-module source.
 func CompileProgram(src string) (*Compiled, error) {
+	return CompileProgramWith(src, CompileOptions{})
+}
+
+// CompileProgramWith is CompileProgram with explicit engine options.
+func CompileProgramWith(src string, opts CompileOptions) (*Compiled, error) {
 	prog, err := ParseProgram(src)
 	if err != nil {
 		return nil, err
@@ -61,7 +66,7 @@ func CompileProgram(src string) (*Compiled, error) {
 	if err != nil {
 		return nil, err
 	}
-	return Compile(flat)
+	return CompileWith(flat, opts)
 }
 
 // schedulerVar is the fresh variable Flatten introduces when the model

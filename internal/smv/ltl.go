@@ -74,11 +74,16 @@ func (c *Compiled) ResolveLTLAtoms(f *ltl.Formula) error {
 // (reordering, disjunctive evaluation, workers) are configured on the
 // returned product's structure exactly as for a plain Compiled.
 func CompileLTL(m *Module, spec *ltl.Formula, source string) (*LTLProduct, error) {
+	return CompileLTLWith(m, spec, source, CompileOptions{})
+}
+
+// CompileLTLWith is CompileLTL with explicit engine options.
+func CompileLTLWith(m *Module, spec *ltl.Formula, source string, opts CompileOptions) (*LTLProduct, error) {
 	if err := resolveLTLAtoms(m, spec); err != nil {
 		return nil, err
 	}
 	la := &ltlAttachment{tab: ltl.Translate(spec)}
-	c, err := compile(m, la)
+	c, err := compile(m, la, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -99,6 +104,11 @@ func CompileLTL(m *Module, spec *ltl.Formula, source string) (*LTLProduct, error
 // one ad-hoc LTL specification (convenience for tests and cmd/smv
 // -ltl).
 func CompileLTLSource(src, spec string) (*LTLProduct, error) {
+	return CompileLTLSourceWith(src, spec, CompileOptions{})
+}
+
+// CompileLTLSourceWith is CompileLTLSource with explicit engine options.
+func CompileLTLSourceWith(src, spec string, opts CompileOptions) (*LTLProduct, error) {
 	m, err := ParseModule(src)
 	if err != nil {
 		return nil, err
@@ -107,7 +117,7 @@ func CompileLTLSource(src, spec string) (*LTLProduct, error) {
 	if err != nil {
 		return nil, err
 	}
-	return CompileLTL(m, f, spec)
+	return CompileLTLWith(m, f, spec, opts)
 }
 
 // Check decides M ⊨ Spec as emptiness of the fair product, using a

@@ -113,59 +113,61 @@ func TestLTLvsCTLDifferential(t *testing.T) {
 				if !mode.on {
 					continue
 				}
-				mode := mode
-				t.Run(mode.name, func(t *testing.T) {
-					configure := func(c *smv.Compiled) {
-						switch mode.name {
-						case "monolithic":
-							c.S.EnablePartition(false)
-						case "disjunctive":
-							c.S.EnableDisjunct(true)
-							c.S.SetWorkers(2)
-						}
-					}
-					cc, err := smv.Compile(module)
-					if err != nil {
-						t.Fatal(err)
-					}
-					configure(cc)
-					gen := core.NewGenerator(mc.New(cc.S))
-					for _, pr := range pairs {
-						cf, err := ctl.Parse(pr.ctlSrc)
-						if err != nil {
-							t.Fatalf("ctl %q: %v", pr.ctlSrc, err)
-						}
-						lf, err := ltl.Parse(pr.ltlSrc)
-						if err != nil {
-							t.Fatalf("ltl %q: %v", pr.ltlSrc, err)
-						}
-						ctlHolds, _, err := gen.CounterexampleInit(cf)
-						if err != nil {
-							t.Fatalf("%q: %v", pr.ctlSrc, err)
-						}
-						p, err := smv.CompileLTL(module, lf, pr.ltlSrc)
-						if err != nil {
-							t.Fatalf("%q: %v", pr.ltlSrc, err)
-						}
-						configure(p.Compiled)
-						ch := mc.New(p.S)
-						ltlHolds, tr, err := p.Check(ch)
-						if err != nil {
-							t.Fatalf("%q: %v", pr.ltlSrc, err)
-						}
-						if tr != nil {
-							if err := p.ReplayCounterexample(tr); err != nil {
-								t.Errorf("%q: %v", pr.ltlSrc, err)
+				for _, rep := range complementOptions {
+					mode, rep := mode, rep
+					t.Run(mode.name+"/"+rep.name, func(t *testing.T) {
+						configure := func(c *smv.Compiled) {
+							switch mode.name {
+							case "monolithic":
+								c.S.EnablePartition(false)
+							case "disjunctive":
+								c.S.EnableDisjunct(true)
+								c.S.SetWorkers(2)
 							}
 						}
-						ch.Close()
-						if ctlHolds != ltlHolds {
-							t.Errorf("%q says %v but %q says %v",
-								pr.ctlSrc, ctlHolds, pr.ltlSrc, ltlHolds)
+						cc, err := smv.CompileWith(module, rep.opts)
+						if err != nil {
+							t.Fatal(err)
 						}
-						checked++
-					}
-				})
+						configure(cc)
+						gen := core.NewGenerator(mc.New(cc.S))
+						for _, pr := range pairs {
+							cf, err := ctl.Parse(pr.ctlSrc)
+							if err != nil {
+								t.Fatalf("ctl %q: %v", pr.ctlSrc, err)
+							}
+							lf, err := ltl.Parse(pr.ltlSrc)
+							if err != nil {
+								t.Fatalf("ltl %q: %v", pr.ltlSrc, err)
+							}
+							ctlHolds, _, err := gen.CounterexampleInit(cf)
+							if err != nil {
+								t.Fatalf("%q: %v", pr.ctlSrc, err)
+							}
+							p, err := smv.CompileLTLWith(module, lf, pr.ltlSrc, rep.opts)
+							if err != nil {
+								t.Fatalf("%q: %v", pr.ltlSrc, err)
+							}
+							configure(p.Compiled)
+							ch := mc.New(p.S)
+							ltlHolds, tr, err := p.Check(ch)
+							if err != nil {
+								t.Fatalf("%q: %v", pr.ltlSrc, err)
+							}
+							if tr != nil {
+								if err := p.ReplayCounterexample(tr); err != nil {
+									t.Errorf("%q: %v", pr.ltlSrc, err)
+								}
+							}
+							ch.Close()
+							if ctlHolds != ltlHolds {
+								t.Errorf("%q says %v but %q says %v",
+									pr.ctlSrc, ctlHolds, pr.ltlSrc, ltlHolds)
+							}
+							checked++
+						}
+					})
+				}
 			}
 		})
 	}

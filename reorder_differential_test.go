@@ -81,6 +81,17 @@ func compareVerdicts(t *testing.T, off, on []specVerdict) {
 	}
 }
 
+// complementOptions parametrizes the root differential suites by node
+// representation; the structural (nocomp) runs are the oracle for the
+// complement-edge engine.
+var complementOptions = []struct {
+	name string
+	opts smv.CompileOptions
+}{
+	{"comp", smv.CompileOptions{}},
+	{"nocomp", smv.CompileOptions{DisableComplementEdges: true}},
+}
+
 func TestReorderDifferentialModels(t *testing.T) {
 	entries, err := os.ReadDir("models")
 	if err != nil {
@@ -91,39 +102,42 @@ func TestReorderDifferentialModels(t *testing.T) {
 		if !strings.HasSuffix(ent.Name(), ".smv") {
 			continue
 		}
-		t.Run(ent.Name(), func(t *testing.T) {
-			src, err := os.ReadFile(filepath.Join("models", ent.Name()))
-			if err != nil {
-				t.Fatal(err)
-			}
-			run := func(reorder bool) []specVerdict {
-				compiled, err := smv.CompileSource(string(src))
+		for _, rep := range complementOptions {
+			rep := rep
+			t.Run(ent.Name()+"/"+rep.name, func(t *testing.T) {
+				src, err := os.ReadFile(filepath.Join("models", ent.Name()))
 				if err != nil {
 					t.Fatal(err)
 				}
-				if reorder {
-					compiled.S.M.EnableAutoReorder(&aggressiveReorder)
-				}
-				var specs []string
-				var formulas []*ctl.Formula
-				for _, sp := range compiled.Module.Specs {
-					if err := compiled.ResolveSpecAtoms(sp.Formula); err != nil {
-						t.Fatalf("%s: %v", sp.Source, err)
+				run := func(reorder bool) []specVerdict {
+					compiled, err := smv.CompileSourceWith(string(src), rep.opts)
+					if err != nil {
+						t.Fatal(err)
 					}
-					specs = append(specs, sp.Source)
-					formulas = append(formulas, sp.Formula)
-				}
-				vs := checkAll(t, compiled.S, specs, formulas)
-				if reorder {
-					totalSifts += compiled.S.M.Stats.AutoReorders
-					if err := bdd.CheckInvariants(compiled.S.M); err != nil {
-						t.Fatalf("invariants after reordered run: %v", err)
+					if reorder {
+						compiled.S.M.EnableAutoReorder(&aggressiveReorder)
 					}
+					var specs []string
+					var formulas []*ctl.Formula
+					for _, sp := range compiled.Module.Specs {
+						if err := compiled.ResolveSpecAtoms(sp.Formula); err != nil {
+							t.Fatalf("%s: %v", sp.Source, err)
+						}
+						specs = append(specs, sp.Source)
+						formulas = append(formulas, sp.Formula)
+					}
+					vs := checkAll(t, compiled.S, specs, formulas)
+					if reorder {
+						totalSifts += compiled.S.M.Stats.AutoReorders
+						if err := bdd.CheckInvariants(compiled.S.M); err != nil {
+							t.Fatalf("invariants after reordered run: %v", err)
+						}
+					}
+					return vs
 				}
-				return vs
-			}
-			compareVerdicts(t, run(false), run(true))
-		})
+				compareVerdicts(t, run(false), run(true))
+			})
+		}
 	}
 	// The differential is vacuous if no reordered run ever sifted.
 	if totalSifts == 0 {
