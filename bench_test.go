@@ -25,6 +25,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/kripke"
 	"repro/internal/mc"
+	"repro/internal/modelgen"
 	"repro/internal/smv"
 )
 
@@ -1176,6 +1177,186 @@ func nonzero(v float64) float64 {
 		return 1e-9
 	}
 	return v
+}
+
+// --- BENCH_models.json: the scenario-corpus artifact ------------------
+//
+// TestRecordModelsBench is gated behind BENCH_MODELS=1 and writes
+// BENCH_models.json: every SPEC and LTLSPEC of the hanoi and chase
+// scenario models — the shipped sizes plus scaled instances rendered by
+// the modelgen generators — is checked with growth-triggered sifting
+// enabled, recording wall time, peak live nodes, sift events and lasso
+// shapes. Verdicts are asserted against scenarioVerdicts (the tables
+// are size-independent by construction), so a wrong run is never
+// recorded. The scaled LTL products are sized to actually trip the
+// auto-reorder trigger; the assertion at the bottom keeps that true.
+// The CI bench-smoke job replays this and gates peak live nodes (25%)
+// plus wall time (2x) against the committed baseline (cmd/benchgate).
+
+type modelsBenchEntry struct {
+	Model         string  `json:"model"`
+	Spec          string  `json:"spec"`
+	Kind          string  `json:"kind"` // "ctl" | "ltl"
+	Holds         bool    `json:"holds"`
+	WallMS        float64 `json:"wall_ms"`
+	PeakLiveNodes int     `json:"peak_live_nodes"`
+	SiftEvents    uint64  `json:"sift_events,omitempty"`
+	TableauVars   int     `json:"tableau_vars,omitempty"`
+	LassoStem     int     `json:"lasso_stem,omitempty"`
+	LassoCycle    int     `json:"lasso_cycle,omitempty"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	BytesPerNode  float64 `json:"bytes_per_node"`
+}
+
+func TestRecordModelsBench(t *testing.T) {
+	if os.Getenv("BENCH_MODELS") != "1" {
+		t.Skip("set BENCH_MODELS=1 to record BENCH_models.json")
+	}
+	const gcThreshold = 1 << 16 // same schedule as the other artifacts
+	// Same trigger profile the modelgen lattice uses: MinNodes low
+	// enough that scenario-sized products actually sift.
+	reorderOpts := bdd.ReorderOptions{
+		GrowthTrigger: 1.5,
+		MinNodes:      256,
+		MaxPasses:     1,
+		Window:        4,
+		MaxBlocks:     16,
+	}
+
+	type scenario struct {
+		name     string
+		src      string
+		verdicts struct{ ctl, ltl []bool }
+	}
+	mustRead := func(name string) string {
+		src, err := os.ReadFile("models/" + name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(src)
+	}
+	scenarios := []scenario{
+		{name: "hanoi.smv", src: mustRead("hanoi.smv"), verdicts: scenarioVerdicts["hanoi.smv"]},
+		{name: "chase.smv", src: mustRead("chase.smv"), verdicts: scenarioVerdicts["chase.smv"]},
+		// Scaled instances: verdicts are size-independent (the puzzle
+		// stays solvable, the evader still escapes).
+		{name: "hanoi-7", src: modelgen.HanoiSource(7), verdicts: scenarioVerdicts["hanoi.smv"]},
+		{name: "chase-16", src: modelgen.ChaseSource(16), verdicts: scenarioVerdicts["chase.smv"]},
+	}
+
+	var entries []modelsBenchEntry
+	for _, sc := range scenarios {
+		module, err := smv.ParseModule(sc.src)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.name, err)
+		}
+		if len(module.Specs) != len(sc.verdicts.ctl) || len(module.LTLSpecs) != len(sc.verdicts.ltl) {
+			t.Fatalf("%s: spec counts do not match the verdict table", sc.name)
+		}
+		for i, sp := range module.Specs {
+			c, err := smv.CompileSource(sc.src)
+			if err != nil {
+				t.Fatalf("%s: %v", sc.name, err)
+			}
+			c.S.M.SetGCThreshold(gcThreshold)
+			c.S.M.EnableAutoReorder(&reorderOpts)
+			c.S.ResetRelStats()
+			t0 := time.Now()
+			gen := core.NewGenerator(mc.New(c.S))
+			holds, tr, err := gen.CounterexampleInit(c.Module.Specs[i].Formula)
+			wall := time.Since(t0)
+			if err != nil {
+				t.Fatalf("%s %s: %v", sc.name, sp.Source, err)
+			}
+			if holds != sc.verdicts.ctl[i] {
+				t.Fatalf("%s %s: got %v, want %v — refusing to record a wrong run",
+					sc.name, sp.Source, holds, sc.verdicts.ctl[i])
+			}
+			e := modelsBenchEntry{
+				Model:         sc.name,
+				Spec:          sp.Formula.String(),
+				Kind:          "ctl",
+				Holds:         holds,
+				WallMS:        float64(wall.Microseconds()) / 1000,
+				PeakLiveNodes: c.S.RelStats().PeakLiveNodes,
+				SiftEvents:    c.S.M.Stats.AutoReorders,
+			}
+			e.CacheHitRate, e.BytesPerNode = arenaMetrics(c.S)
+			if tr != nil {
+				if err := core.ValidatePath(c.S, tr); err != nil {
+					t.Fatalf("%s %s: invalid trace: %v", sc.name, sp.Source, err)
+				}
+				e.LassoStem = tr.CycleStart
+				e.LassoCycle = len(tr.States) - tr.CycleStart
+				if !tr.IsLasso() {
+					e.LassoStem, e.LassoCycle = len(tr.States), 0
+				}
+			}
+			entries = append(entries, e)
+		}
+		for i, sp := range module.LTLSpecs {
+			p, err := smv.CompileLTL(module, sp.Formula, sp.Source)
+			if err != nil {
+				t.Fatalf("%s %s: %v", sc.name, sp.Source, err)
+			}
+			p.S.M.SetGCThreshold(gcThreshold)
+			p.S.M.EnableAutoReorder(&reorderOpts)
+			p.S.ResetRelStats()
+			t0 := time.Now()
+			ch := mc.New(p.S)
+			holds, tr, err := p.Check(ch)
+			wall := time.Since(t0)
+			if err != nil {
+				t.Fatalf("%s %s: %v", sc.name, sp.Source, err)
+			}
+			if holds != sc.verdicts.ltl[i] {
+				t.Fatalf("%s %s: got %v, want %v — refusing to record a wrong run",
+					sc.name, sp.Source, holds, sc.verdicts.ltl[i])
+			}
+			e := modelsBenchEntry{
+				Model:         sc.name,
+				Spec:          sp.Formula.String(),
+				Kind:          "ltl",
+				Holds:         holds,
+				WallMS:        float64(wall.Microseconds()) / 1000,
+				PeakLiveNodes: p.S.RelStats().PeakLiveNodes,
+				SiftEvents:    p.S.M.Stats.AutoReorders,
+				TableauVars:   len(p.ElemVars),
+			}
+			e.CacheHitRate, e.BytesPerNode = arenaMetrics(p.S)
+			if tr != nil {
+				if err := p.ReplayCounterexample(tr); err != nil {
+					t.Fatalf("%s %s: %v", sc.name, sp.Source, err)
+				}
+				e.LassoStem = tr.CycleStart
+				e.LassoCycle = len(tr.States) - tr.CycleStart
+			}
+			ch.Close()
+			entries = append(entries, e)
+		}
+	}
+
+	out, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_models.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_models.json with %d entries", len(entries))
+
+	// Acceptance: the scaled LTL products must be big enough to trip
+	// growth-triggered sifting — otherwise the corpus is not exercising
+	// the reordering path it exists to cover.
+	var sifted bool
+	for _, e := range entries {
+		if e.Kind == "ltl" && (e.Model == "hanoi-7" || e.Model == "chase-16") && e.SiftEvents > 0 {
+			sifted = true
+		}
+	}
+	if !sifted {
+		t.Error("no scaled LTL product triggered auto-reordering")
+	}
 }
 
 // --- BENCH_disjunctive.json: the disjunctive-partitioning artifact ----

@@ -171,7 +171,9 @@ func (m *Manager) loadV2(br *bufio.Reader) ([]Ref, error) {
 	if err != nil {
 		return nil, err
 	}
-	table := make([]Ref, nnodes+1)
+	// Grown incrementally: a corrupt count must fail at the first short
+	// read, not preallocate gigabytes.
+	table := make([]Ref, 1, clampPrealloc(nnodes+1))
 	table[0] = False
 	// dec resolves a sign-encoded edge against the already-built prefix.
 	dec := func(e, limit uint32) (Ref, error) {
@@ -211,14 +213,14 @@ func (m *Manager) loadV2(br *bufio.Reader) ([]Ref, error) {
 		v := savedLevel2Var[lvl]
 		// Rebuild through ITE so a different variable order in the
 		// target manager still yields the correct (canonical) function.
-		table[i+1] = m.ite3(m.Var(v), high, low)
+		table = append(table, m.ite3(m.Var(v), high, low))
 	}
 	nroots, err := readU32From(br)
 	if err != nil {
 		return nil, err
 	}
-	roots := make([]Ref, nroots)
-	for i := range roots {
+	roots := make([]Ref, 0, clampPrealloc(nroots))
+	for i := uint32(0); i < nroots; i++ {
 		e, err := readU32From(br)
 		if err != nil {
 			return nil, err
@@ -227,9 +229,20 @@ func (m *Manager) loadV2(br *bufio.Reader) ([]Ref, error) {
 		if err != nil {
 			return nil, errors.New("bdd: corrupt root record")
 		}
-		roots[i] = f
+		roots = append(roots, f)
 	}
 	return roots, nil
+}
+
+// clampPrealloc bounds slice preallocation from untrusted counts; the
+// slices grow past it by appending, after the stream has actually
+// delivered that many records.
+func clampPrealloc(n uint32) int {
+	const maxPrealloc = 1 << 16
+	if n > maxPrealloc {
+		return maxPrealloc
+	}
+	return int(n)
 }
 
 // loadV1 reads the body of a legacy v1 file: two-terminal node table
@@ -245,7 +258,7 @@ func (m *Manager) loadV1(br *bufio.Reader) ([]Ref, error) {
 	if err != nil {
 		return nil, err
 	}
-	table := make([]Ref, nnodes+2)
+	table := make([]Ref, 2, clampPrealloc(nnodes+2))
 	table[0] = False
 	table[1] = True
 	for i := uint32(0); i < nnodes; i++ {
@@ -266,14 +279,14 @@ func (m *Manager) loadV1(br *bufio.Reader) ([]Ref, error) {
 		}
 		v := savedLevel2Var[lvl]
 		low, high := table[lowIdx], table[highIdx]
-		table[i+2] = m.ite3(m.Var(v), high, low)
+		table = append(table, m.ite3(m.Var(v), high, low))
 	}
 	nroots, err := readU32From(br)
 	if err != nil {
 		return nil, err
 	}
-	roots := make([]Ref, nroots)
-	for i := range roots {
+	roots := make([]Ref, 0, clampPrealloc(nroots))
+	for i := uint32(0); i < nroots; i++ {
 		idx, err := readU32From(br)
 		if err != nil {
 			return nil, err
@@ -281,7 +294,7 @@ func (m *Manager) loadV1(br *bufio.Reader) ([]Ref, error) {
 		if idx >= uint32(len(table)) {
 			return nil, errors.New("bdd: corrupt root record")
 		}
-		roots[i] = table[idx]
+		roots = append(roots, table[idx])
 	}
 	return roots, nil
 }

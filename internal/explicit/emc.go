@@ -2,10 +2,24 @@ package explicit
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/ctl"
 	"repro/internal/kripke"
 )
+
+// hasValueLabel reports whether a state labels variable name with some
+// "name=value" pair, identifying it as finite-domain rather than
+// boolean for the purposes of the 0/1/true/false comparison fallback.
+func hasValueLabel(labels map[string]bool, name string) bool {
+	prefix := name + "="
+	for k, v := range labels {
+		if v && strings.HasPrefix(k, prefix) {
+			return true
+		}
+	}
+	return false
+}
 
 // Checker evaluates CTL formulas over an explicit structure by graph
 // traversal, linear in the size of the graph and the length of the
@@ -64,11 +78,13 @@ func (c *Checker) checkBasis(f *ctl.Formula) ([]bool, error) {
 		return out, nil
 	case ctl.KEq, ctl.KNeq:
 		// Explicit structures label atoms "name=value"; booleans compare
-		// against 0/1/true/false.
+		// against 0/1/true/false. The boolean fallback must not fire for a
+		// finite-domain variable (one carrying some "name=value" label at
+		// this state), else "x = 0" misreads as "!x" whenever x != 0.
 		out := make([]bool, n)
 		for s := 0; s < n; s++ {
 			v := c.E.Labels[s][f.Name+"="+f.Value]
-			if !v {
+			if !v && !hasValueLabel(c.E.Labels[s], f.Name) {
 				switch f.Value {
 				case "1", "true", "TRUE":
 					v = c.E.Labels[s][f.Name]

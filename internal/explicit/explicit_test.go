@@ -151,6 +151,42 @@ func TestCheckerEqNeqAtoms(t *testing.T) {
 	}
 }
 
+// A finite-domain variable labeled "name=value" must not trip the
+// boolean 0/1 comparison fallback: at a state where n=2, the atom
+// "n = 0" used to evaluate as "!n" (vacuously true, since the bare
+// label "n" never exists for value-labeled variables).
+func TestCheckerRangeVarNoBooleanFallback(t *testing.T) {
+	e := kripke.NewExplicit(3)
+	e.AddEdge(0, 1)
+	e.AddEdge(1, 2)
+	e.AddEdge(2, 2)
+	for s := 0; s < 3; s++ {
+		e.Label(s, "n="+string(rune('0'+s)))
+	}
+	e.AddInit(0)
+	c := New(e)
+	for _, tc := range []struct {
+		spec string
+		want [3]bool
+	}{
+		{"n = 0", [3]bool{true, false, false}},
+		{"n != 0", [3]bool{false, true, true}},
+		{"n = 1", [3]bool{false, true, false}},
+		{"n != 1", [3]bool{true, false, true}},
+		{"n = 2", [3]bool{false, false, true}},
+	} {
+		got, err := c.Check(ctl.MustParse(tc.spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < 3; s++ {
+			if got[s] != tc.want[s] {
+				t.Errorf("%s at state %d: got %v want %v", tc.spec, s, got[s], tc.want[s])
+			}
+		}
+	}
+}
+
 func TestFairEGExplicit(t *testing.T) {
 	// two loops; fairness only at the right loop.
 	e := kripke.NewExplicit(3)

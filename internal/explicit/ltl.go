@@ -188,7 +188,7 @@ func LabelAtom(e *kripke.Explicit, s int, lit *ltl.Formula) (bool, error) {
 		return e.Labels[s][lit.Name], nil
 	case ltl.KEq, ltl.KNeq:
 		v := e.Labels[s][lit.Name+"="+lit.Value]
-		if !v {
+		if !v && !hasValueLabel(e.Labels[s], lit.Name) {
 			switch lit.Value {
 			case "1", "true", "TRUE":
 				v = e.Labels[s][lit.Name]

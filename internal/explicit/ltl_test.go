@@ -125,6 +125,40 @@ func TestCheckLTLVerdicts(t *testing.T) {
 	}
 }
 
+// Counterpart of TestCheckerRangeVarNoBooleanFallback for the LTL
+// path: comparisons against 0/1 on a value-labeled variable must use
+// the exact "name=value" labels, never the bare-name boolean reading.
+func TestCheckLTLRangeVarAtoms(t *testing.T) {
+	e := kripke.NewExplicit(2)
+	e.AddEdge(0, 1)
+	e.AddEdge(1, 1)
+	e.Label(0, "n=0")
+	e.Label(1, "n=1")
+	e.AddInit(0)
+	cases := []struct {
+		f    string
+		want bool
+	}{
+		{"n = 0", true},
+		{"F n = 1", true},
+		{"G n = 0", false},   // n leaves 0 at step 1
+		{"F G n != 0", true}, // and stays at 1 forever
+		{"G n != 1", false},
+	}
+	for _, c := range cases {
+		holds, cex, err := CheckLTL(e, ltl.MustParse(c.f))
+		if err != nil {
+			t.Fatalf("%s: %v", c.f, err)
+		}
+		if holds != c.want {
+			t.Errorf("CheckLTL(%s) = %v, want %v", c.f, holds, c.want)
+		}
+		if !holds && cex == nil {
+			t.Fatalf("%s: no counterexample", c.f)
+		}
+	}
+}
+
 func TestCheckLTLFairness(t *testing.T) {
 	// 0→0, 0→1, 1→1; p at 1; fairness forces visiting 1 infinitely
 	// often, so every fair path eventually stays at 1.

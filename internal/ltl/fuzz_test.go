@@ -1,6 +1,34 @@
 package ltl
 
-import "testing"
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// modelLTLSpecs collects the LTLSPEC lines of the shipped models as
+// fuzz seeds, mirroring the SPEC loader the CTL fuzzer uses.
+func modelLTLSpecs() []string {
+	var out []string
+	matches, _ := filepath.Glob(filepath.Join("..", "..", "models", "*.smv"))
+	for _, path := range matches {
+		file, err := os.Open(path)
+		if err != nil {
+			continue
+		}
+		sc := bufio.NewScanner(file)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if rest, ok := strings.CutPrefix(line, "LTLSPEC"); ok {
+				out = append(out, strings.TrimSpace(rest))
+			}
+		}
+		file.Close()
+	}
+	return out
+}
 
 // isNNF reports whether f is in the normal form NNF promises: only
 // {true, false, literal, ∧, ∨, X, U, R}, with ! applied to atoms only.
@@ -34,6 +62,9 @@ func FuzzLTLParse(f *testing.F) {
 		"x = a U y != b", "p <-> q -> r", "true U false",
 		"(G) U q", "G F p & F G q", "!(p W q)",
 	} {
+		f.Add(s)
+	}
+	for _, s := range modelLTLSpecs() {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, src string) {

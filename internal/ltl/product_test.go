@@ -1,7 +1,11 @@
 package ltl_test
 
 import (
+	"bufio"
 	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/bdd"
@@ -11,6 +15,56 @@ import (
 	"repro/internal/ltl"
 	"repro/internal/mc"
 )
+
+// shippedLTLSpecShapes loads the LTLSPEC lines of the shipped models
+// and rewrites every literal to the p/q alphabet the differential
+// labels, preserving the temporal shape (the interesting part of a
+// seed) while making the atoms resolvable.
+func shippedLTLSpecShapes() []string {
+	var out []string
+	matches, _ := filepath.Glob(filepath.Join("..", "..", "models", "*.smv"))
+	for _, path := range matches {
+		file, err := os.Open(path)
+		if err != nil {
+			continue
+		}
+		sc := bufio.NewScanner(file)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			rest, ok := strings.CutPrefix(line, "LTLSPEC")
+			if !ok {
+				continue
+			}
+			f, err := ltl.Parse(strings.TrimSpace(rest))
+			if err != nil {
+				continue
+			}
+			n := 0
+			var rename func(g *ltl.Formula)
+			rename = func(g *ltl.Formula) {
+				if g == nil {
+					return
+				}
+				switch g.Kind {
+				case ltl.KAtom, ltl.KEq, ltl.KNeq:
+					g.Kind = ltl.KAtom
+					g.Value = ""
+					g.Name = "p"
+					if n%2 == 1 {
+						g.Name = "q"
+					}
+					n++
+				}
+				rename(g.L)
+				rename(g.R)
+			}
+			rename(f)
+			out = append(out, f.String())
+		}
+		file.Close()
+	}
+	return out
+}
 
 // checkSymbolic decides e ⊨ spec through the symbolic tableau product
 // and, on violation, extracts a fair lasso through the ring-walk
@@ -149,6 +203,12 @@ func FuzzLTLTranslate(f *testing.F) {
 	}
 	f.Add(int64(7), uint8(4), "G (p -> F q)")
 	f.Add(int64(9), uint8(6), "p U (q U p)")
+	// The shipped models' LTLSPEC lines ride along as shape seeds. Their
+	// atoms are renamed p/q below so the differential body (which only
+	// labels p and q) doesn't immediately skip them.
+	for i, s := range shippedLTLSpecShapes() {
+		f.Add(int64(i), uint8(i), s)
+	}
 	known := map[string]bool{"p": true, "q": true}
 	f.Fuzz(func(t *testing.T, seed int64, size uint8, src string) {
 		spec, err := ltl.Parse(src)

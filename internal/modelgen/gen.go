@@ -1,0 +1,547 @@
+// Package modelgen synthesizes well-formed SMV programs from a seed and
+// cross-checks every engine configuration against the explicit-state
+// oracle. The generator is the unbounded extension of the hand-written
+// corpus in models/: each seed deterministically yields a model with
+// boolean/enum/range variables, guarded case assignments, optional
+// `process` instances (to exercise the disjunctive image path), TRANS
+// constraints, FAIRNESS sections, and a batch of CTL + LTL
+// specifications biased toward the nested shapes whose witnesses and
+// counterexamples the paper's generator has to get right.
+//
+// Everything is plain data: a Model can be rendered to SMV source,
+// compiled, and — crucially for shrinking — mutated by deleting parts
+// while the per-element `uses` sets keep the result well-formed.
+package modelgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Expr is a rendered expression fragment plus the flattened variable
+// names it mentions (the dependency set the shrinker consults).
+type Expr struct {
+	Text string
+	Uses map[string]bool
+}
+
+func uses(names ...string) map[string]bool {
+	m := map[string]bool{}
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+func merge(a, b map[string]bool) map[string]bool {
+	m := map[string]bool{}
+	for k := range a {
+		m[k] = true
+	}
+	for k := range b {
+		m[k] = true
+	}
+	return m
+}
+
+// Arm is one guarded alternative of a case assignment.
+type Arm struct {
+	Guard Expr
+	Value Expr
+}
+
+// VarDef declares one main-module variable. Exactly one of Bool, Enum,
+// N describes the domain: Bool, enum literals, or the range 0..N-1.
+type VarDef struct {
+	Name string
+	Bool bool
+	Enum []string
+	N    int
+}
+
+// Domain returns the printable domain values (spec atoms pick from it).
+func (v *VarDef) Domain() []string {
+	switch {
+	case v.Bool:
+		return []string{"TRUE", "FALSE"}
+	case len(v.Enum) > 0:
+		return append([]string(nil), v.Enum...)
+	default:
+		out := make([]string, v.N)
+		for i := range out {
+			out[i] = fmt.Sprintf("%d", i)
+		}
+		return out
+	}
+}
+
+func (v *VarDef) typeText() string {
+	switch {
+	case v.Bool:
+		return "boolean"
+	case len(v.Enum) > 0:
+		return "{" + strings.Join(v.Enum, ", ") + "}"
+	default:
+		return fmt.Sprintf("0..%d", v.N-1)
+	}
+}
+
+// Assign holds the init/next sections for one variable; either may be
+// absent (a free variable — the nondeterministic input case).
+type Assign struct {
+	Var  string
+	Init *Expr
+	Arms []Arm // nil = no next assignment; otherwise ends in a TRUE arm
+}
+
+// Proc is one `process` instance: its own module with a local enum
+// variable `st` and the shared token variable passed by (same) name.
+type Proc struct {
+	Inst      string // instance name, e.g. "p1"
+	Mod       string // module name, e.g. "proc1"
+	LocalVals []string
+	InitVal   string
+	Arms      []Arm // next(st); guards over st and the token
+	TokenArms []Arm // next(token); empty = this process never writes it
+	Fair      bool  // FAIRNESS running inside the module
+}
+
+// Local returns the flattened name of the process-local variable.
+func (p *Proc) Local() string { return p.Inst + ".st" }
+
+// Spec is one CTL or LTL specification line.
+type Spec struct {
+	Text string
+	Uses map[string]bool
+}
+
+// Model is the generator's IR: everything needed to render SMV source
+// and to shrink a failing instance structurally.
+type Model struct {
+	Seed    int64
+	Vars    []*VarDef
+	Assigns []*Assign // parallel to Vars
+	Trans   []Expr
+	Fair    []Expr
+	Procs   []*Proc
+	Token   string // shared variable driven by processes ("" without procs)
+	CTL     []Spec
+	LTL     []Spec
+}
+
+// Config bounds the generator. The zero value is replaced by defaults
+// tuned for the tier-1 property test: small state spaces that still
+// exercise every syntactic feature.
+type Config struct {
+	MaxVars   int     // main variables in addition to the token (default 4)
+	ProcProb  float64 // probability of generating process instances (default 0.35)
+	MaxProcs  int     // process instances when generated (default 2)
+	MaxCTL    int     // CTL specs (default 4, min 2)
+	MaxLTL    int     // LTL specs (default 3, min 1)
+	TransProb float64 // probability of a TRANS constraint on a free var (default 0.5)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxVars == 0 {
+		c.MaxVars = 4
+	}
+	if c.ProcProb == 0 {
+		c.ProcProb = 0.35
+	}
+	if c.MaxProcs == 0 {
+		c.MaxProcs = 2
+	}
+	if c.MaxCTL == 0 {
+		c.MaxCTL = 4
+	}
+	if c.MaxLTL == 0 {
+		c.MaxLTL = 3
+	}
+	if c.TransProb == 0 {
+		c.TransProb = 0.5
+	}
+	return c
+}
+
+// Generate builds the seed's model under the default configuration.
+// The same seed always yields the same model.
+func Generate(seed int64) *Model { return GenerateWith(Config{}, seed) }
+
+// GenerateWith builds the seed's model under cfg.
+func GenerateWith(cfg Config, seed int64) *Model {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(seed))
+	m := &Model{Seed: seed}
+
+	nVars := 2 + r.Intn(cfg.MaxVars-1)
+	for i := 0; i < nVars; i++ {
+		m.Vars = append(m.Vars, genVar(r, i))
+	}
+
+	if r.Float64() < cfg.ProcProb {
+		genProcs(r, m, cfg.MaxProcs)
+	}
+
+	for _, v := range m.Vars {
+		m.Assigns = append(m.Assigns, genAssign(r, m, v))
+	}
+
+	// At most one TRANS constraint, on a variable nobody else drives:
+	// `guard -> next(free) = value` keeps the relation total (the guard
+	// only ever forces a feasible choice).
+	if free := freeVars(m); len(free) > 0 && r.Float64() < cfg.TransProb {
+		fv := free[r.Intn(len(free))]
+		g := genGuard(r, m, 1)
+		val := fv.Domain()[r.Intn(len(fv.Domain()))]
+		m.Trans = append(m.Trans, Expr{
+			Text: fmt.Sprintf("(%s) -> next(%s) = %s", g.Text, fv.Name, val),
+			Uses: merge(g.Uses, uses(fv.Name)),
+		})
+	}
+
+	nFair := 0
+	if p := r.Float64(); p < 0.10 {
+		nFair = 2
+	} else if p < 0.45 {
+		nFair = 1
+	}
+	for i := 0; i < nFair; i++ {
+		m.Fair = append(m.Fair, genGuard(r, m, 1))
+	}
+
+	genSpecs(r, m, cfg)
+	return m
+}
+
+func genVar(r *rand.Rand, i int) *VarDef {
+	name := fmt.Sprintf("v%d", i)
+	switch r.Intn(4) {
+	case 0, 1:
+		return &VarDef{Name: name, Bool: true}
+	case 2:
+		k := 2 + r.Intn(2)
+		vals := make([]string, k)
+		for j := range vals {
+			vals[j] = fmt.Sprintf("%s_%c", name, 'a'+j)
+		}
+		return &VarDef{Name: name, Enum: vals}
+	default:
+		return &VarDef{Name: name, N: 2 + r.Intn(3)}
+	}
+}
+
+// genProcs adds the shared token variable and 2..max process instances
+// driving it — the shape the compiler Shannon-expands into per-process
+// disjuncts over `_running`.
+func genProcs(r *rand.Rand, m *Model, maxProcs int) {
+	tok := &VarDef{Name: "tok"}
+	if r.Intn(2) == 0 {
+		tok.Bool = true
+	} else {
+		k := 2 + r.Intn(2)
+		tok.Enum = make([]string, k)
+		for j := range tok.Enum {
+			tok.Enum[j] = fmt.Sprintf("tok_%c", 'a'+j)
+		}
+	}
+	m.Vars = append(m.Vars, tok)
+	m.Token = tok.Name
+
+	n := 2
+	if maxProcs > 2 {
+		n += r.Intn(maxProcs - 1)
+	}
+	for i := 0; i < n; i++ {
+		p := &Proc{
+			Inst: fmt.Sprintf("p%d", i),
+			Mod:  fmt.Sprintf("proc%d", i),
+			Fair: r.Float64() < 0.6,
+		}
+		k := 2 + r.Intn(2)
+		p.LocalVals = make([]string, k)
+		for j := range p.LocalVals {
+			p.LocalVals[j] = fmt.Sprintf("p%dst_%c", i, 'a'+j)
+		}
+		p.InitVal = p.LocalVals[r.Intn(k)]
+
+		local := &VarDef{Name: "st", Enum: p.LocalVals} // module-local view
+		vocab := []*VarDef{local, tok}
+		nArms := 1 + r.Intn(2)
+		for j := 0; j < nArms; j++ {
+			p.Arms = append(p.Arms, genArm(r, vocab, local, p.Inst))
+		}
+		p.Arms = append(p.Arms, defaultArm(r, local, p.Inst))
+		if r.Float64() < 0.7 {
+			p.TokenArms = append(p.TokenArms, genArm(r, vocab, tok, p.Inst))
+			p.TokenArms = append(p.TokenArms, Arm{
+				Guard: Expr{Text: "TRUE", Uses: uses()},
+				Value: Expr{Text: tok.Name, Uses: uses(tok.Name)},
+			})
+		}
+		m.Procs = append(m.Procs, p)
+	}
+}
+
+// flatName maps a module-local variable reference to its flattened
+// name for dependency tracking ("" inst = main module).
+func flatName(v *VarDef, inst string) string {
+	if inst != "" && v.Name == "st" {
+		return inst + ".st"
+	}
+	return v.Name
+}
+
+// genAssign builds the init/next sections for a main variable. The
+// token is never next-assigned in main when processes drive it (flatten
+// would reject the duplicate assignment).
+func genAssign(r *rand.Rand, m *Model, v *VarDef) *Assign {
+	a := &Assign{Var: v.Name}
+	if r.Float64() < 0.75 {
+		a.Init = initValue(r, v)
+	}
+	if v.Name == m.Token && len(m.Procs) > 0 {
+		return a
+	}
+	if r.Float64() < 0.85 {
+		nArms := 1 + r.Intn(3)
+		for i := 0; i < nArms; i++ {
+			a.Arms = append(a.Arms, genArm(r, m.Vars, v, ""))
+		}
+		a.Arms = append(a.Arms, defaultArm(r, v, ""))
+	}
+	return a
+}
+
+// initValue is a literal or a set literal from the domain.
+func initValue(r *rand.Rand, v *VarDef) *Expr {
+	dom := v.Domain()
+	if !v.Bool && len(dom) > 2 && r.Intn(3) == 0 {
+		k := 2 + r.Intn(len(dom)-1)
+		r.Shuffle(len(dom), func(i, j int) { dom[i], dom[j] = dom[j], dom[i] })
+		picked := append([]string(nil), dom[:k]...)
+		sort.Strings(picked)
+		return &Expr{Text: "{" + strings.Join(picked, ", ") + "}", Uses: uses()}
+	}
+	return &Expr{Text: dom[r.Intn(len(dom))], Uses: uses()}
+}
+
+// genArm yields a guarded case arm for target; guards draw atoms from
+// vocab (flattened through inst for dependency tracking).
+func genArm(r *rand.Rand, vocab []*VarDef, target *VarDef, inst string) Arm {
+	return Arm{Guard: guardOver(r, vocab, 2, inst), Value: armValue(r, vocab, target, inst)}
+}
+
+// defaultArm closes a case: value chosen so the assignment stays total.
+func defaultArm(r *rand.Rand, target *VarDef, inst string) Arm {
+	g := Expr{Text: "TRUE", Uses: uses()}
+	dom := target.Domain()
+	switch r.Intn(3) {
+	case 0: // stutter
+		return Arm{Guard: g, Value: Expr{Text: target.Name, Uses: uses(flatName(target, inst))}}
+	case 1: // literal
+		return Arm{Guard: g, Value: Expr{Text: dom[r.Intn(len(dom))], Uses: uses()}}
+	default: // nondeterministic choice (value-typed targets only: a case
+		// may not mix boolean results with set literals)
+		if target.Bool || len(dom) < 2 {
+			return Arm{Guard: g, Value: Expr{Text: target.Name, Uses: uses(flatName(target, inst))}}
+		}
+		sort.Strings(dom)
+		return Arm{Guard: g, Value: Expr{Text: "{" + strings.Join(dom, ", ") + "}", Uses: uses()}}
+	}
+}
+
+// armValue picks an in-domain RHS: literal, self, set literal, or (for
+// ranges) modular increment.
+func armValue(r *rand.Rand, vocab []*VarDef, target *VarDef, inst string) Expr {
+	dom := target.Domain()
+	switch r.Intn(5) {
+	case 0:
+		return Expr{Text: target.Name, Uses: uses(flatName(target, inst))}
+	case 1:
+		if !target.Bool && len(dom) >= 2 {
+			k := 2
+			cp := append([]string(nil), dom...)
+			r.Shuffle(len(cp), func(i, j int) { cp[i], cp[j] = cp[j], cp[i] })
+			picked := append([]string(nil), cp[:k]...)
+			sort.Strings(picked)
+			return Expr{Text: "{" + strings.Join(picked, ", ") + "}", Uses: uses()}
+		}
+	case 2:
+		if target.N > 0 {
+			step := 1 + r.Intn(target.N-1)
+			return Expr{
+				Text: fmt.Sprintf("(%s + %d) mod %d", target.Name, step, target.N),
+				Uses: uses(flatName(target, inst)),
+			}
+		}
+	case 3:
+		if target.Bool {
+			g := guardOver(r, vocab, 1, inst)
+			return g
+		}
+	}
+	return Expr{Text: dom[r.Intn(len(dom))], Uses: uses()}
+}
+
+// genGuard builds a boolean expression over the flattened model
+// vocabulary (main vars plus process locals).
+func genGuard(r *rand.Rand, m *Model, depth int) Expr {
+	return guardOver(r, specVocab(m), depth, "")
+}
+
+// guardOver builds a boolean expression of bounded depth whose atoms
+// are variable tests from vocab.
+func guardOver(r *rand.Rand, vocab []*VarDef, depth int, inst string) Expr {
+	if depth <= 0 || r.Intn(3) == 0 {
+		return atomOver(r, vocab, inst)
+	}
+	l := guardOver(r, vocab, depth-1, inst)
+	switch r.Intn(4) {
+	case 0:
+		return Expr{Text: "!" + paren(l.Text), Uses: l.Uses}
+	case 1:
+		rr := guardOver(r, vocab, depth-1, inst)
+		return Expr{Text: paren(l.Text) + " & " + paren(rr.Text), Uses: merge(l.Uses, rr.Uses)}
+	case 2:
+		rr := guardOver(r, vocab, depth-1, inst)
+		return Expr{Text: paren(l.Text) + " | " + paren(rr.Text), Uses: merge(l.Uses, rr.Uses)}
+	default:
+		return l
+	}
+}
+
+func paren(s string) string {
+	if strings.ContainsAny(s, " ") {
+		return "(" + s + ")"
+	}
+	return s
+}
+
+// atomOver is a single variable test: a bare boolean, or =/!= against
+// a domain value.
+func atomOver(r *rand.Rand, vocab []*VarDef, inst string) Expr {
+	v := vocab[r.Intn(len(vocab))]
+	name := v.Name
+	flat := flatName(v, inst)
+	if inst == "" {
+		// Spec/main-module vocabulary: VarDefs may already carry
+		// flattened dotted names (process locals).
+		flat = name
+	}
+	if v.Bool {
+		if r.Intn(2) == 0 {
+			return Expr{Text: "!" + name, Uses: uses(flat)}
+		}
+		return Expr{Text: name, Uses: uses(flat)}
+	}
+	dom := v.Domain()
+	op := "="
+	if r.Intn(3) == 0 {
+		op = "!="
+	}
+	return Expr{Text: fmt.Sprintf("%s %s %s", name, op, dom[r.Intn(len(dom))]), Uses: uses(flat)}
+}
+
+// freeVars lists main variables with no next assignment and no process
+// writer — candidates for TRANS constraints.
+func freeVars(m *Model) []*VarDef {
+	var out []*VarDef
+	for i, v := range m.Vars {
+		if i < len(m.Assigns) && m.Assigns[i] != nil && len(m.Assigns[i].Arms) > 0 {
+			continue
+		}
+		if v.Name == m.Token && len(m.Procs) > 0 {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// specVocab is every flattened variable a specification may mention:
+// main variables plus process-local states (never `_running`).
+func specVocab(m *Model) []*VarDef {
+	out := append([]*VarDef(nil), m.Vars...)
+	for _, p := range m.Procs {
+		out = append(out, &VarDef{Name: p.Local(), Enum: p.LocalVals})
+	}
+	return out
+}
+
+// Source renders the model as an SMV program, process modules first.
+func (m *Model) Source() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- modelgen seed %d\n", m.Seed)
+	for _, p := range m.Procs {
+		fmt.Fprintf(&b, "MODULE %s(%s)\n", p.Mod, m.Token)
+		fmt.Fprintf(&b, "VAR\n  st : {%s};\n", strings.Join(p.LocalVals, ", "))
+		b.WriteString("ASSIGN\n")
+		fmt.Fprintf(&b, "  init(st) := %s;\n", p.InitVal)
+		writeCase(&b, "st", p.Arms)
+		if len(p.TokenArms) > 0 {
+			writeCase(&b, m.Token, p.TokenArms)
+		}
+		if p.Fair {
+			b.WriteString("FAIRNESS running\n")
+		}
+		b.WriteString("\n")
+	}
+
+	b.WriteString("MODULE main\nVAR\n")
+	for _, v := range m.Vars {
+		fmt.Fprintf(&b, "  %s : %s;\n", v.Name, v.typeText())
+	}
+	for _, p := range m.Procs {
+		fmt.Fprintf(&b, "  %s : process %s(%s);\n", p.Inst, p.Mod, m.Token)
+	}
+	var assigns []string
+	for _, a := range m.Assigns {
+		if a == nil {
+			continue
+		}
+		var sb strings.Builder
+		if a.Init != nil {
+			fmt.Fprintf(&sb, "  init(%s) := %s;\n", a.Var, a.Init.Text)
+		}
+		writeCase(&sb, a.Var, a.Arms)
+		if sb.Len() > 0 {
+			assigns = append(assigns, sb.String())
+		}
+	}
+	if len(assigns) > 0 {
+		b.WriteString("ASSIGN\n")
+		for _, s := range assigns {
+			b.WriteString(s)
+		}
+	}
+	for _, tr := range m.Trans {
+		fmt.Fprintf(&b, "TRANS %s\n", tr.Text)
+	}
+	for _, f := range m.Fair {
+		fmt.Fprintf(&b, "FAIRNESS %s\n", f.Text)
+	}
+	for _, sp := range m.CTL {
+		fmt.Fprintf(&b, "SPEC %s\n", sp.Text)
+	}
+	for _, sp := range m.LTL {
+		fmt.Fprintf(&b, "LTLSPEC %s\n", sp.Text)
+	}
+	return b.String()
+}
+
+func writeCase(b *strings.Builder, name string, arms []Arm) {
+	if len(arms) == 0 {
+		return
+	}
+	if len(arms) == 1 && arms[0].Guard.Text == "TRUE" {
+		fmt.Fprintf(b, "  next(%s) := %s;\n", name, arms[0].Value.Text)
+		return
+	}
+	fmt.Fprintf(b, "  next(%s) := case\n", name)
+	for _, a := range arms {
+		fmt.Fprintf(b, "    %s : %s;\n", a.Guard.Text, a.Value.Text)
+	}
+	fmt.Fprintf(b, "  esac;\n")
+}

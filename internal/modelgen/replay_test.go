@@ -1,0 +1,39 @@
+package modelgen
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestReproducersReplay re-checks every committed reproducer in
+// testdata/. Each file was written by WriteReproducer when some engine
+// configuration diverged during development (the header comment records
+// the original divergence); the bugs are fixed, so CheckModel must now
+// pass on all of them. A failure here means a fixed divergence came
+// back.
+func TestReproducersReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential replay skipped in -short")
+	}
+	matches, err := filepath.Glob(filepath.Join("testdata", "repro_*.smv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Skip("no committed reproducers")
+	}
+	for _, path := range matches {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			t.Parallel()
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := CheckModel(string(src)); err != nil {
+				t.Fatalf("reproducer diverges again: %v", err)
+			}
+		})
+	}
+}

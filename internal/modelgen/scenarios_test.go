@@ -1,0 +1,52 @@
+package modelgen
+
+import (
+	"os"
+	"testing"
+)
+
+// The shipped scenario files are pinned renderings of the parameterized
+// generators; regenerate with HanoiSource(5)/ChaseSource(8) on drift.
+func TestScenarioSourcesPinned(t *testing.T) {
+	for _, tc := range []struct {
+		file string
+		want string
+	}{
+		{"../../models/hanoi.smv", HanoiSource(5)},
+		{"../../models/chase.smv", ChaseSource(8)},
+	} {
+		got, err := os.ReadFile(tc.file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != tc.want {
+			t.Errorf("%s is out of sync with its generator — regenerate", tc.file)
+		}
+	}
+}
+
+// Both scenario families go through the full differential lattice
+// (every engine configuration plus the explicit oracle) at their
+// shipped sizes — the oracle caps comfortably cover them.
+func TestScenariosDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lattice run on scenario corpus")
+	}
+	for _, tc := range []struct {
+		name string
+		src  string
+	}{
+		{"hanoi3", HanoiSource(3)},
+		{"hanoi5", HanoiSource(5)},
+		{"chase6", ChaseSource(6)},
+		{"chase8", ChaseSource(8)},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			if err := CheckModel(tc.src); err != nil {
+				t.Errorf("%s", err)
+			}
+		})
+	}
+}

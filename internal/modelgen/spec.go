@@ -1,0 +1,92 @@
+package modelgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// ctlShapes are the specification templates the CTL generator draws
+// from, biased toward the nested until/globally shapes whose witnesses
+// and counterexamples stress the ring-walk generator: AG/AF liveness
+// (counterexample = fair lasso), EU/EF reachability (witness = finite
+// path), and EG under fairness (witness = fair lasso).
+var ctlShapes = []struct {
+	tpl   string
+	atoms int
+}{
+	{"AG (%s -> AF %s)", 2},
+	{"AG EF %s", 1},
+	{"EF (%s & EX %s)", 2},
+	{"E [%s U %s]", 2},
+	{"A [%s U %s]", 2},
+	{"EG %s", 1},
+	{"EF EG %s", 1},
+	{"AG (%s -> A [%s U %s])", 3},
+	{"AF (%s | %s)", 2},
+	{"EX (%s & %s)", 2},
+}
+
+// ltlShapes mirror the tableau-stressing templates: G(p -> F q) lassos,
+// recurrence/persistence (GF/FG), untils and next-steps.
+var ltlShapes = []struct {
+	tpl   string
+	atoms int
+}{
+	{"G (%s -> F %s)", 2},
+	{"F %s", 1},
+	{"G %s", 1},
+	{"G F %s", 1},
+	{"F G %s", 1},
+	{"%s U %s", 2},
+	{"G (%s -> X %s)", 2},
+	{"X %s", 1},
+	{"G (%s -> (%s U %s))", 3},
+	{"%s W %s", 2},
+}
+
+// genSpecs fills m.CTL and m.LTL with templated specifications whose
+// atoms test declared variables (never _running or tableau internals).
+func genSpecs(r *rand.Rand, m *Model, cfg Config) {
+	vocab := specVocab(m)
+	nCTL := 2 + r.Intn(cfg.MaxCTL-1)
+	for i := 0; i < nCTL; i++ {
+		sh := ctlShapes[r.Intn(len(ctlShapes))]
+		m.CTL = append(m.CTL, fillShape(r, vocab, sh.tpl, sh.atoms))
+	}
+	nLTL := 1 + r.Intn(cfg.MaxLTL)
+	for i := 0; i < nLTL; i++ {
+		sh := ltlShapes[r.Intn(len(ltlShapes))]
+		m.LTL = append(m.LTL, fillShape(r, vocab, sh.tpl, sh.atoms))
+	}
+}
+
+func fillShape(r *rand.Rand, vocab []*VarDef, tpl string, n int) Spec {
+	args := make([]any, n)
+	u := uses()
+	for i := 0; i < n; i++ {
+		a := specAtom(r, vocab)
+		args[i] = a.Text
+		u = merge(u, a.Uses)
+	}
+	return Spec{Text: fmt.Sprintf(tpl, args...), Uses: u}
+}
+
+// specAtom is a variable test in CTL/LTL syntax: bare or negated
+// boolean, or =/!= against a domain value. The rendered text never
+// needs parentheses inside the shape templates above.
+func specAtom(r *rand.Rand, vocab []*VarDef) Expr {
+	v := vocab[r.Intn(len(vocab))]
+	if v.Bool {
+		if r.Intn(3) == 0 {
+			return Expr{Text: "!" + v.Name, Uses: uses(v.Name)}
+		}
+		return Expr{Text: v.Name, Uses: uses(v.Name)}
+	}
+	dom := v.Domain()
+	op := "="
+	if r.Intn(3) == 0 {
+		op = "!="
+	}
+	return Expr{Text: strings.Join([]string{v.Name, op, dom[r.Intn(len(dom))]}, " "), Uses: uses(v.Name)}
+}

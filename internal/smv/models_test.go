@@ -23,6 +23,10 @@ func TestShippedModelsCompile(t *testing.T) {
 		"seitz.smv":     {"AF ta1.out", "AF ta2.out"},
 		"semaphore.smv": {"AF p1.in_cs"},
 		"ring.smv":      {"AG ! st1.in_cs"},
+		// the counterexample to AG !goal is the 31-move solution plan
+		"hanoi.smv": {"AG ! goal"},
+		// the counterexample to AF caught is the evader's escape lasso
+		"chase.smv": {"AF caught"},
 	}
 	count := 0
 	for _, ent := range entries {
