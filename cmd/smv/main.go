@@ -21,7 +21,9 @@
 //	-ltl F       check LTL formula F in addition to the model's LTLSPECs
 //	-reorder     enable dynamic variable reordering (growth-triggered sifting)
 //	-disjunctive use the disjunctive (per-process) image on interleaved models
-//	-workers N   evaluate disjunctive components on N goroutines
+//	-workers N   evaluate BDD operations on N goroutines sharing one
+//	             manager (all image modes; disjunctive components also
+//	             run as concurrent jobs)
 //	-delta       print traces showing only changed variables per state
 //	-reachable   report the number of reachable states first
 //	-witness     for specs that hold and are existential, print a witness
@@ -58,7 +60,7 @@ func main() {
 	ltlSpec := flag.String("ltl", "", "check an LTL formula in addition to the model's LTLSPEC sections")
 	reorder := flag.Bool("reorder", false, "enable dynamic variable reordering")
 	disjunctive := flag.Bool("disjunctive", false, "use the disjunctive (per-process) image on interleaved models")
-	workers := flag.Int("workers", 1, "worker goroutines for the disjunctive image")
+	workers := flag.Int("workers", 1, "worker goroutines for parallel BDD evaluation on the shared manager (all image modes)")
 	noComplement := flag.Bool("no-complement", false, "disable complement edges (legacy structural negation)")
 	flag.Parse()
 
@@ -238,9 +240,14 @@ func main() {
 		fmt.Printf("transition clusters: %d (preimages %d, images %d, cluster steps %d, peak %d nodes in chains)\n",
 			compiled.S.NumClusters(), rel.PreimageCalls, rel.ImageCalls, rel.ClusterSteps, rel.PeakLiveNodes)
 		if n := compiled.S.NumDisjuncts(); n > 0 {
-			fmt.Printf("disjunctive components: %d (enabled %v, workers %d, disjunct steps %d, parallel batches %d, scratch peak %d nodes)\n",
+			fmt.Printf("disjunctive components: %d (enabled %v, workers %d, disjunct steps %d, parallel batches %d)\n",
 				n, compiled.S.DisjunctEnabled(), compiled.S.Workers(),
-				rel.DisjunctSteps, rel.ParallelBatches, rel.ScratchPeakNodes)
+				rel.DisjunctSteps, rel.ParallelBatches)
+		}
+		if m.ParallelWorkers() > 1 || m.Stats.ParallelSections > 0 {
+			fmt.Printf("parallel engine:    %d workers, %d sections (%d jobs, %d forks, %d retries, peak %d forks in flight)\n",
+				m.ParallelWorkers(), m.Stats.ParallelSections, m.Stats.ParallelJobs,
+				m.Stats.ParallelForks, m.Stats.ParallelRetries, m.Stats.ParallelPeakInFlight)
 		}
 		fmt.Printf("checker preimages:  %d (%d cluster steps, %d disjunct steps, AndExists cache hits %d / lookups %d)\n",
 			checker.Stats.PreimageCalls, checker.Stats.ClusterSteps, checker.Stats.DisjunctSteps,

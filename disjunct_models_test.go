@@ -20,7 +20,7 @@ import (
 // from BOTH paths independently validated against the model
 // (ValidatePath, and ValidateFairLasso for fair lassos). Runs
 // sequentially and with worker goroutines; `go test -race` exercises
-// the scratch-arena concurrency model.
+// the shared-manager parallel engine's concurrency model.
 func TestDisjunctiveModelsDifferential(t *testing.T) {
 	entries, err := os.ReadDir("models")
 	if err != nil {

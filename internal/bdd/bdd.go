@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -151,6 +152,10 @@ type Manager struct {
 
 	gcThreshold int // run GC opportunistically above this many live nodes
 
+	// par is the shared-memory parallel engine, nil until
+	// SetParallelWorkers enables it (see parallel.go).
+	par *parState
+
 	// Stats accumulates counters since the Manager was created.
 	Stats Stats
 }
@@ -189,6 +194,19 @@ type Stats struct {
 	SiftTimeouts      uint64
 	ReorderSavedNodes int64
 	ReorderTime       time.Duration
+
+	// Parallel-engine counters (see parallel.go). ParallelSections
+	// counts fork-join sections opened, ParallelJobs the RunParallel
+	// jobs executed inside them, ParallelForks the recursion subproblems
+	// forked onto fresh goroutines, ParallelRetries the sections
+	// re-run after arena exhaustion, and ParallelPeakInFlight the
+	// high-water mark of simultaneously forked subtasks (the queue-depth
+	// signal: it saturates at the fork cap when workers stay busy).
+	ParallelSections     uint64
+	ParallelJobs         uint64
+	ParallelForks        uint64
+	ParallelRetries      uint64
+	ParallelPeakInFlight int
 }
 
 type iteEntry struct {
@@ -260,6 +278,9 @@ func (m *Manager) AddVar() int {
 	m.var2level = append(m.var2level, v)
 	m.level2var = append(m.level2var, v)
 	m.tables = append(m.tables, newSubtable(initialLevelBuckets))
+	if m.par != nil && len(m.par.levelMu) < len(m.tables) {
+		m.par.levelMu = append(m.par.levelMu, make([]sync.Mutex, len(m.tables)-len(m.par.levelMu))...)
+	}
 	return v
 }
 
@@ -567,6 +588,7 @@ func (m *Manager) clearCaches() {
 	for _, p := range m.perms {
 		p.cache = nil
 	}
+	m.parInvalidateCaches()
 }
 
 // cacheIndex hashes up to four words into a cache slot index.

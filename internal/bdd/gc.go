@@ -13,6 +13,11 @@ package bdd
 // GC collects every node unreachable from the protected and registered
 // roots and returns the number of nodes freed.
 func (m *Manager) GC() int {
+	if m.par != nil && m.par.inSection {
+		// Parallel workers are sharing the arena right now; collection
+		// waits for the fork-join section boundary (the safe point).
+		return 0
+	}
 	m.Stats.GCRuns++
 	// Mark.
 	for r := range m.roots {

@@ -2,7 +2,6 @@ package kripke
 
 import (
 	"strconv"
-	"sync"
 
 	"repro/internal/bdd"
 )
@@ -25,11 +24,13 @@ import (
 // operand AndExists actually sees. Components are independent — no
 // chain threads an accumulator through them — which is what makes the
 // disjunctive image parallelizable: with SetWorkers(n>1) the
-// per-component AndExists calls run in worker goroutines, each inside a
-// thread-confined scratch Manager aligned to the main manager's
-// variable order, and the coordinator OR-merges the copied-back results
-// (see DESIGN.md §5 for the worker-safety model and the tradeoff
-// against pipelining on the shared manager).
+// per-component AndExists calls run as independent jobs of one
+// fork-join section on the shared-memory parallel BDD engine
+// (bdd.RunParallel), all workers extending the same striped unique
+// table, and the coordinator OR-merges the results after the join.
+// There is no operand copying and no copy-back: every worker's result
+// is already a canonical ref in the main manager (see DESIGN.md §5 for
+// the concurrency model).
 //
 // Reachability additionally tracks a per-component frontier: fed[i] is
 // the set of states already expanded through component i, so a round
@@ -50,31 +51,9 @@ type component struct {
 	preFree bdd.Ref // next-state vars absent from rel
 }
 
-// scratch is one component's thread-confined evaluation arena for the
-// parallel schedule. The component relation is copied in once and
-// cached; the copy (and the arena's operation caches, which persist
-// between image calls) is invalidated whenever the main manager
-// reorders, since the arenas must agree on the variable order for
-// CopyTo to be meaningful.
-type scratch struct {
-	m       *bdd.Manager
-	rel     bdd.Ref // cached component copy, protected in m
-	haveRel bool
-	valid   bool
-}
-
-// scratchGCThreshold: collect a scratch arena after a batch once it
-// holds this many nodes (only the cached component copy survives).
-// Kept small: arena garbage left between batches is live memory that
-// counts against the peak, and collecting a few thousand nodes costs
-// less than the CopyTo traffic the batch already paid.
-const scratchGCThreshold = 1 << 12
-
-// Disjunct holds the components of a disjunctive transition partition
-// and their scratch arenas.
+// Disjunct holds the components of a disjunctive transition partition.
 type Disjunct struct {
-	comps   []component
-	scratch []scratch
+	comps []component
 }
 
 // NumComponents returns the number of disjunctive components.
@@ -97,15 +76,6 @@ func (d *Disjunct) Components() []bdd.Ref {
 		out[i] = d.comps[i].rel
 	}
 	return out
-}
-
-// invalidateScratch drops every cached scratch arena; called from the
-// structure's reorder hook (the arenas' variable orders no longer match
-// the main manager) and when the partition is replaced.
-func (d *Disjunct) invalidateScratch() {
-	for i := range d.scratch {
-		d.scratch[i] = scratch{}
-	}
 }
 
 // SetDisjuncts installs a disjunctive partition of the transition
@@ -178,7 +148,6 @@ func (s *Symbolic) SetDisjuncts(comps []bdd.Ref, names []string) {
 			preFree: m.Protect(m.Cube(nextOut)),
 		})
 	}
-	d.scratch = make([]scratch, len(d.comps))
 	s.disj = d
 	// Defer the monolithic relation when nothing installed one: Trans()
 	// will OR the components on first demand, exactly as the conjunctive
@@ -210,13 +179,18 @@ func (s *Symbolic) NumDisjuncts() int {
 	return len(s.disj.comps)
 }
 
-// SetWorkers sets the number of goroutines the disjunctive image uses
-// to evaluate components (n <= 1: sequential, on the main manager).
+// SetWorkers sets the number of worker goroutines used for BDD
+// evaluation (n <= 1: sequential). It configures the manager's
+// shared-memory parallel engine — so every image mode benefits from
+// large-operand parallel Apply/AndExists — and, for a disjunctive
+// partition, additionally schedules independent component products as
+// concurrent jobs of one parallel section.
 func (s *Symbolic) SetWorkers(n int) {
 	if n < 1 {
 		n = 1
 	}
 	s.workers = n
+	s.M.SetParallelWorkers(n)
 }
 
 // Workers returns the configured disjunctive worker count.
@@ -286,29 +260,38 @@ func (s *Symbolic) disjunctApplySeq(args []bdd.Ref, pre bool) bdd.Ref {
 	return res
 }
 
-// disjunctTask is one component's unit of parallel work. The coordinator
-// fills the scratch-manager operand refs before the workers start and
-// reads res/peak after they join, so no field is accessed concurrently.
+// disjunctTask is one component's unit of parallel work: the
+// pre-projected argument, the quantification cube and the component
+// relation — all refs in the shared manager — plus the result slot the
+// job fills. The coordinator computes the operands before the jobs
+// start and reads res after RunParallel joins, so no field is accessed
+// concurrently.
 type disjunctTask struct {
-	sc        *scratch
-	arg, cube bdd.Ref // operands in sc.m
-	res       bdd.Ref // result in sc.m, protected until copied back
-	peak      int     // sc.m nodes after the product and the arena sweep
-	stats0    bdd.Stats
+	arg, rel, cube bdd.Ref
+	res            bdd.Ref
 }
 
-// disjunctApplyParallel is the worker schedule. The main manager is
-// only ever touched by the calling goroutine: it projects and copies
-// the operands into per-component scratch arenas up front, the workers
-// run AndExists entirely inside their (mutually disjoint) arenas, and
-// after the join the coordinator copies the results back and OR-merges
-// them. Automatic reordering is paused for the duration so the arenas'
-// variable orders stay aligned with the main manager's.
+// disjunctApplyParallel is the shared-manager parallel schedule: the
+// coordinator pre-quantifies each component's free variables, then
+// hands the per-component relational products to bdd.RunParallel as
+// independent jobs of one fork-join section on the shared parallel
+// engine. Every worker extends the same striped unique table, so each
+// result is already a canonical ref in the main manager — there is no
+// operand copying and no copy-back, and sharing between components'
+// intermediate results is found in the shared caches rather than
+// recomputed per arena. Automatic reordering and GC wait for the
+// section boundary (the engine's safe point), so no order-alignment
+// bookkeeping is needed; the registered args translate as usual if a
+// reorder fires at the safe point before the batch.
 func (s *Symbolic) disjunctApplyParallel(args []bdd.Ref, pre bool) bdd.Ref {
 	m := s.M
 	d := s.disj
-	resume := m.PauseAutoReorder()
-	defer resume()
+	ptrs := make([]*bdd.Ref, 0, len(args))
+	for i := range args {
+		ptrs = append(ptrs, &args[i])
+	}
+	id := m.RegisterRefs(ptrs...)
+	m.ReorderIfNeeded()
 
 	var tasks []*disjunctTask
 	for i := range d.comps {
@@ -324,83 +307,30 @@ func (s *Symbolic) disjunctApplyParallel(args []bdd.Ref, pre bool) bdd.Ref {
 		if proj == bdd.False {
 			continue
 		}
-		sc := &d.scratch[i]
-		if !sc.valid {
-			// Scratch arenas must share the main manager's node
-			// representation or CopyTo would refuse the transfer.
-			var opts []bdd.Option
-			if m.ComplementEdgesDisabled() {
-				opts = append(opts, bdd.DisableComplementEdges())
-			}
-			sc.m = bdd.NewWithOrder(m.Order(), opts...)
-			sc.haveRel = false
-			sc.valid = true
-		}
-		if !sc.haveRel {
-			sc.rel = sc.m.Protect(m.CopyTo(sc.m, c.rel))
-			sc.haveRel = true
-		}
-		tasks = append(tasks, &disjunctTask{
-			sc:     sc,
-			arg:    m.CopyTo(sc.m, proj),
-			cube:   m.CopyTo(sc.m, cube),
-			stats0: sc.m.Stats,
-		})
+		tasks = append(tasks, &disjunctTask{arg: proj, rel: c.rel, cube: cube})
 	}
+	m.Unregister(id)
 	if len(tasks) == 0 {
 		return bdd.False
 	}
 
-	ch := make(chan *disjunctTask)
-	var wg sync.WaitGroup
-	workers := s.workers
-	if workers > len(tasks) {
-		workers = len(tasks)
+	jobs := make([]func(op *bdd.ParOp), len(tasks))
+	for k := range tasks {
+		t := tasks[k]
+		jobs[k] = func(op *bdd.ParOp) {
+			t.res = op.AndExists(t.arg, t.rel, t.cube)
+		}
 	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for t := range ch {
-				t.res = t.sc.m.AndExists(t.arg, t.sc.rel, t.cube)
-				// Sweep the arena before the next task: with the result
-				// protected, only the cached relation copy and pending results
-				// survive, so a batch never holds every component's product
-				// garbage at once. GC never moves nodes, so t.res stays valid.
-				t.sc.m.Protect(t.res)
-				if t.sc.m.NumNodes() > scratchGCThreshold {
-					t.sc.m.GC()
-				}
-				t.peak = t.sc.m.NumNodes()
-			}
-		}()
-	}
-	for _, t := range tasks {
-		ch <- t
-	}
-	close(ch)
-	wg.Wait()
+	m.RunParallel(jobs)
 
 	res := bdd.False
-	scratchNodes := 0
 	for _, t := range tasks {
-		res = m.Or(res, t.sc.m.CopyTo(m, t.res))
-		t.sc.m.Unprotect(t.res) // swept by the arena's next in-worker GC
-		scratchNodes += t.peak
-		// Fold the arena's relational-product cache traffic into the main
-		// manager's counters so -stats stays truthful in parallel mode.
-		delta := t.sc.m.Stats
-		m.Stats.AndExistsCalls += delta.AndExistsCalls - t.stats0.AndExistsCalls
-		m.Stats.AndExistsLookups += delta.AndExistsLookups - t.stats0.AndExistsLookups
-		m.Stats.AndExistsHits += delta.AndExistsHits - t.stats0.AndExistsHits
+		res = m.Or(res, t.res)
 		s.relStats.ClusterSteps++
 		s.relStats.DisjunctSteps++
 	}
 	s.relStats.ParallelBatches++
-	if scratchNodes > s.relStats.ScratchPeakNodes {
-		s.relStats.ScratchPeakNodes = scratchNodes
-	}
-	s.noteLiveNodesExtra(scratchNodes)
+	s.noteLiveNodes()
 	return res
 }
 

@@ -299,18 +299,25 @@ func TestDisjunctRelStatsTruthful(t *testing.T) {
 	}
 
 	s.SetWorkers(4)
+	// Force every operand over the parallel engine's size gate so the
+	// batch actually runs as a shared-engine section.
+	s.M.SetParallelGranularity(1)
 	s.ResetRelStats()
 	calls0 := s.M.Stats.AndExistsCalls
+	sections0 := s.M.Stats.ParallelSections
 	s.Image(s.Init)
 	rs = s.RelStats()
 	if rs.ParallelBatches == 0 {
 		t.Fatal("parallel batch not counted")
 	}
-	if rs.ScratchPeakNodes == 0 {
-		t.Fatal("scratch peak nodes not sampled")
+	if s.M.Stats.ParallelSections == sections0 {
+		t.Fatal("parallel batch did not run a shared-engine section")
 	}
 	if s.M.Stats.AndExistsCalls == calls0 {
-		t.Fatal("scratch AndExists traffic not merged into main-manager stats")
+		t.Fatal("parallel AndExists traffic not folded into manager stats")
+	}
+	if rs.PeakLiveNodes == 0 {
+		t.Fatal("peak live nodes not sampled on the parallel path")
 	}
 }
 
@@ -322,8 +329,9 @@ func TestDisjunctSurvivesReorder(t *testing.T) {
 	set := s.M.Protect(randomStateSet(r, s))
 	imgBefore := s.M.Protect(s.Image(set))
 
-	// Force a committed reorder; the hook must rewrite components, cubes
-	// and drop the scratch arenas (their order is now stale).
+	// Force a committed reorder; the hook must rewrite the components and
+	// cubes (the shared parallel engine's caches are generation-tagged,
+	// so no per-arena invalidation is needed).
 	n := s.M.NumVars()
 	order := make([]int, n)
 	for i := range order {

@@ -67,20 +67,18 @@ func (p *Partition) ImageOrder() []int {
 // the manager's live-node high-water mark sampled at every image step
 // (and at every cluster/component step on the partitioned paths), which
 // is where the intermediate-result blow-up of a bad schedule shows up;
-// in parallel disjunctive batches the sample additionally includes the
-// scratch arenas' node counts, so the peak stays an honest measure of
-// total memory in play.
+// parallel schedules run on the shared manager, so the same counter
+// covers them with no off-manager memory to add in.
 type RelStats struct {
 	PreimageCalls uint64
 	ImageCalls    uint64
 	ClusterSteps  uint64 // AndExists steps taken: chain links (conjunctive) + component products (disjunctive); 0 on the monolithic path
 	DisjunctSteps uint64 // component products taken by the disjunctive image (subset of ClusterSteps)
-	// ParallelBatches counts disjunctive image calls evaluated on worker
-	// goroutines; ScratchPeakNodes is the high-water mark of the summed
-	// scratch-arena sizes across such batches.
-	ParallelBatches  uint64
-	ScratchPeakNodes int
-	PeakLiveNodes    int
+	// ParallelBatches counts disjunctive image calls whose component
+	// products ran as concurrent jobs of a shared-engine parallel
+	// section (see bdd.RunParallel).
+	ParallelBatches uint64
+	PeakLiveNodes   int
 
 	// Computed-cache traffic of the underlying manager (ITE, binary and
 	// AndExists lookups all funnel through these counters) accumulated
@@ -119,14 +117,6 @@ func (s *Symbolic) ResetRelStats() {
 
 func (s *Symbolic) noteLiveNodes() {
 	if n := s.M.NumNodes(); n > s.relStats.PeakLiveNodes {
-		s.relStats.PeakLiveNodes = n
-	}
-}
-
-// noteLiveNodesExtra samples the peak with extra off-manager nodes
-// (the scratch arenas of a parallel disjunctive batch) added in.
-func (s *Symbolic) noteLiveNodesExtra(extra int) {
-	if n := s.M.NumNodes() + extra; n > s.relStats.PeakLiveNodes {
 		s.relStats.PeakLiveNodes = n
 	}
 }

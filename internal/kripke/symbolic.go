@@ -142,9 +142,6 @@ func (s *Symbolic) rewriteRefs(translate func(bdd.Ref) bdd.Ref) {
 			c.preCube = translate(c.preCube)
 			c.preFree = translate(c.preFree)
 		}
-		// The scratch arenas were minted with the pre-reorder variable
-		// order; their cached component copies are now misaligned.
-		d.invalidateScratch()
 	}
 }
 
