@@ -12,7 +12,9 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -28,6 +30,7 @@ import (
 	"repro/internal/mc"
 	"repro/internal/modelgen"
 	"repro/internal/smv"
+	"repro/internal/smvd"
 )
 
 // --- E1: the Seitz arbiter case study ---------------------------------
@@ -1777,4 +1780,207 @@ func TestRecordParallelBench(t *testing.T) {
 			}
 		}
 	}
+}
+
+// --- BENCH_smvd.json: the persistent-server cache artifact ------------
+//
+// TestRecordSmvdBench is gated behind BENCH_SMVD=1 and writes
+// BENCH_smvd.json, the artifact for the smvd session cache:
+//
+//	cold_compile  first query on a fresh server: parse + compile +
+//	              reachability + fair set + all specs
+//	warm_query    median repeat query on the same session (cached
+//	              reachable/fair sets + subformula memo); its
+//	              warm_speedup over cold is the headline number and
+//	              must be at least 5x — the recorder refuses to write
+//	              a run below that
+//	warm_restart  first query after a simulated restart, seeded from
+//	              the on-disk serialize-v3 record; image_calls is
+//	              asserted zero (the reachability frontier is the only
+//	              Image user in CTL checking, so zero proves the
+//	              fixpoint was skipped)
+//	sustained     concurrent hot-query throughput
+//
+// The CI bench-smoke job gates peak_live_nodes (deterministic for a
+// fixed model) at 25% and warm_speedup — a same-machine ratio, so
+// runner speed cancels out — with a wide 90% band against the
+// committed baseline.
+
+type smvdBenchEntry struct {
+	Model           string  `json:"model"`
+	Phase           string  `json:"phase"`
+	WallMS          float64 `json:"wall_ms"`
+	PeakLiveNodes   int     `json:"peak_live_nodes,omitempty"`
+	CacheHitRate    float64 `json:"cache_hit_rate,omitempty"`
+	ReachableStates float64 `json:"reachable_states,omitempty"`
+	ReachIters      int     `json:"reach_iters,omitempty"`
+	WarmSpeedup     float64 `json:"warm_speedup,omitempty"`
+	ImageCalls      uint64  `json:"image_calls"`
+	QPS             float64 `json:"qps,omitempty"`
+	Queries         uint64  `json:"queries,omitempty"`
+	Note            string  `json:"note,omitempty"`
+}
+
+func TestRecordSmvdBench(t *testing.T) {
+	if os.Getenv("BENCH_SMVD") != "1" {
+		t.Skip("set BENCH_SMVD=1 to record BENCH_smvd.json")
+	}
+	const clients = 8
+	src := modelgen.ArbiterSource(clients)
+	specs, truth := modelgen.ArbiterSpecs(clients)
+	passing := specs[:2] // the ImageCalls==0 proof needs specs without counterexamples
+
+	verify := func(resp *smvd.CheckResponse, want []bool) {
+		t.Helper()
+		for i, v := range resp.Verdicts {
+			if v.Error != "" {
+				t.Fatalf("%q: %s", v.Spec, v.Error)
+			}
+			if v.Holds != want[i] {
+				t.Fatalf("%q: holds=%v want %v — refusing to record a wrong run",
+					v.Spec, v.Holds, want[i])
+			}
+		}
+	}
+
+	dir := t.TempDir()
+	cache, err := smvd.NewCache(8, 0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := smvd.NewServer(cache)
+	req := &smvd.CheckRequest{Model: src, Specs: specs}
+
+	// Phase 1: cold.
+	t0 := time.Now()
+	cold, err := sv.Check(req)
+	coldWall := time.Since(t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Warm {
+		t.Fatal("cold query reported warm")
+	}
+	verify(cold, truth)
+	ss := sv.Cache.Sessions()
+	if len(ss) != 1 {
+		t.Fatalf("got %d sessions", len(ss))
+	}
+	entries := []smvdBenchEntry{{
+		Model:           fmt.Sprintf("arbiter-%d", clients),
+		Phase:           "cold_compile",
+		WallMS:          float64(coldWall.Microseconds()) / 1000,
+		PeakLiveNodes:   ss[0].Rel.PeakLiveNodes,
+		CacheHitRate:    ss[0].CacheHitRate,
+		ReachableStates: cold.ReachableStates,
+		ReachIters:      cold.ReachIters,
+		ImageCalls:      ss[0].Rel.ImageCalls,
+	}}
+
+	// Phase 2: warm queries on the hot session; median of several runs.
+	var warmWalls []time.Duration
+	for i := 0; i < 7; i++ {
+		t0 = time.Now()
+		warm, err := sv.Check(req)
+		warmWalls = append(warmWalls, time.Since(t0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !warm.Warm {
+			t.Fatal("repeat query not warm")
+		}
+		verify(warm, truth)
+	}
+	sort.Slice(warmWalls, func(i, j int) bool { return warmWalls[i] < warmWalls[j] })
+	warmWall := warmWalls[len(warmWalls)/2]
+	speedup := float64(coldWall) / float64(warmWall)
+	if speedup < 5 {
+		t.Fatalf("warm query only %.1fx faster than cold (%v vs %v) — below the 5x floor",
+			speedup, warmWall, coldWall)
+	}
+	entries = append(entries, smvdBenchEntry{
+		Model:       fmt.Sprintf("arbiter-%d", clients),
+		Phase:       "warm_query",
+		WallMS:      float64(warmWall.Microseconds()) / 1000,
+		WarmSpeedup: speedup,
+	})
+
+	// Phase 3: sustained concurrent hot-query throughput.
+	const hammerWorkers, perWorker = 4, 100
+	var wg sync.WaitGroup
+	t0 = time.Now()
+	for w := 0; w < hammerWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if _, err := sv.Check(req); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	hammer := time.Since(t0)
+	entries = append(entries, smvdBenchEntry{
+		Model:   fmt.Sprintf("arbiter-%d", clients),
+		Phase:   "sustained",
+		WallMS:  float64(hammer.Microseconds()) / 1000,
+		QPS:     hammerWorkers * perWorker / hammer.Seconds(),
+		Queries: hammerWorkers * perWorker,
+	})
+
+	// Phase 4: warm restart from the serialize-v3 record.
+	if err := sv.Cache.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	cache2, err := smvd.NewCache(8, 0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv2 := smvd.NewServer(cache2)
+	t0 = time.Now()
+	restart, err := sv2.Check(&smvd.CheckRequest{Model: src, Specs: passing})
+	restartWall := time.Since(t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restart.Warm || restart.WarmSource != "disk" {
+		t.Fatalf("restart not disk-warm: warm=%v source=%q", restart.Warm, restart.WarmSource)
+	}
+	verify(restart, truth[:2])
+	if restart.ReachableStates != cold.ReachableStates || restart.ReachIters != cold.ReachIters {
+		t.Fatalf("warm restart changed reachability: %v/%d vs %v/%d",
+			restart.ReachableStates, restart.ReachIters, cold.ReachableStates, cold.ReachIters)
+	}
+	ss2 := sv2.Cache.Sessions()
+	if len(ss2) != 1 {
+		t.Fatalf("got %d sessions after restart", len(ss2))
+	}
+	if ss2[0].Rel.ImageCalls != 0 {
+		t.Fatalf("warm restart ran %d image calls — reachability was not skipped", ss2[0].Rel.ImageCalls)
+	}
+	entries = append(entries, smvdBenchEntry{
+		Model:           fmt.Sprintf("arbiter-%d", clients),
+		Phase:           "warm_restart",
+		WallMS:          float64(restartWall.Microseconds()) / 1000,
+		ReachableStates: restart.ReachableStates,
+		ReachIters:      restart.ReachIters,
+		ImageCalls:      ss2[0].Rel.ImageCalls,
+		WarmSpeedup:     float64(coldWall) / float64(restartWall),
+		Note:            "compile re-runs on restart; reach/fair/sift restored from disk",
+	})
+
+	out, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_smvd.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_smvd.json with %d entries (cold %.2fms, warm %.3fms, %.0fx, restart %.2fms)",
+		len(entries), float64(coldWall.Microseconds())/1000,
+		float64(warmWall.Microseconds())/1000, speedup,
+		float64(restartWall.Microseconds())/1000)
 }

@@ -30,13 +30,27 @@
 //	-compact     shorten traces with shortcut compaction (§9 extension)
 //	-tree        print failures as hierarchical explanation trees (§9)
 //	-simulate N  print a random N-step execution instead of checking
+//	-server URL  send the model to a running smvd instead of checking
+//	             locally (the server's session cache makes repeated
+//	             checks of an unchanged model nearly free)
+//	-cache-dir D warm-start from (and refresh) smvd-format warm records:
+//	             a prior run's variable order, reachable set and fair
+//	             set are restored, skipping those fixpoints
+//	-cpuprofile F / -memprofile F
+//	             write pprof profiles of the run
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/bdd"
@@ -46,6 +60,7 @@ import (
 	"repro/internal/ltl"
 	"repro/internal/mc"
 	"repro/internal/smv"
+	"repro/internal/smvd"
 )
 
 func main() {
@@ -62,6 +77,10 @@ func main() {
 	disjunctive := flag.Bool("disjunctive", false, "use the disjunctive (per-process) image on interleaved models")
 	workers := flag.Int("workers", 1, "worker goroutines for parallel BDD evaluation on the shared manager (all image modes)")
 	noComplement := flag.Bool("no-complement", false, "disable complement edges (legacy structural negation)")
+	server := flag.String("server", "", "check via a running smvd at this base URL instead of locally")
+	cacheDir := flag.String("cache-dir", "", "warm-start from (and write) smvd warm records in this directory")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -69,6 +88,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+	memProfilePath = *memprofile
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
@@ -76,6 +105,15 @@ func main() {
 	module, err := smv.ParseModule(string(src))
 	if err != nil {
 		fatal(err)
+	}
+	engineCfg := smvd.Config{
+		Disjunctive:  *disjunctive,
+		Workers:      *workers,
+		Reorder:      *reorder,
+		NoComplement: *noComplement,
+	}
+	if *server != "" {
+		exit(checkRemote(*server, string(src), module, engineCfg, *ltlSpec))
 	}
 	copts := smv.CompileOptions{DisableComplementEdges: *noComplement}
 	compiled, err := smv.CompileWith(module, copts)
@@ -93,6 +131,30 @@ func main() {
 		}
 	}
 	compiled.S.SetWorkers(*workers)
+
+	// Warm start: restore a previous run's variable order and fixpoint
+	// results from the shared smvd record store, if a record exists.
+	var store *smvd.DiskStore
+	var modelKey string
+	var warmReach, warmFair bdd.Ref
+	var warmIters int
+	warm := false
+	if *cacheDir != "" {
+		store, err = smvd.OpenDiskStore(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		modelKey = smvd.ModelKey(string(src), engineCfg)
+		warmReach, warmFair, warmIters, warm, err = store.Load(modelKey, compiled.S.M)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "warning: warm-start load failed: %v\n", err)
+			warm = false
+		}
+		compiled.S.EnableReachableCache()
+		if warm {
+			compiled.S.SetReachable(warmReach, warmIters)
+		}
+	}
 
 	// CTL semantics assume a total transition relation; warn when the
 	// model has deadlocked states so vacuous EG/EX verdicts on them are
@@ -118,13 +180,27 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
-		return
+		exit(0)
 	}
 
 	checker := mc.New(compiled.S)
 	gen := core.NewGenerator(checker)
+	if store != nil {
+		if warm {
+			// SetCareSet clears the checker's fair cache, so the seed must
+			// come after it — same order as an smvd warm start.
+			checker.SetCareSet(warmReach)
+			checker.SeedFair(warmFair)
+		} else {
+			// Run the fixpoints now so a record can be written on exit; the
+			// care-set restriction matches what a warmed run would use, so
+			// cold and warm runs check identically.
+			checker.UseReachableCareSet()
+			checker.Fair()
+		}
+	}
 	exitCode := 0
 	for _, sp := range compiled.Module.Specs {
 		fmt.Printf("-- specification %s ", sp.Source)
@@ -269,7 +345,89 @@ func main() {
 		fmt.Printf("checker reorders:   %d (%v during fixpoints)\n",
 			checker.Stats.Reorders, checker.Stats.ReorderTime)
 	}
-	os.Exit(exitCode)
+	if store != nil && !warm {
+		if reach, iters, ok := compiled.S.ReachableCached(); ok {
+			if fair, okFair := checker.CachedFair(); okFair {
+				if err := store.Save(modelKey, engineCfg, compiled.S.M, reach, fair, iters); err != nil {
+					fmt.Fprintf(os.Stderr, "warning: warm-record save failed: %v\n", err)
+				}
+			}
+		}
+	}
+	exit(exitCode)
+}
+
+// checkRemote is -server mode: the model and its spec sources go to a
+// running smvd, whose session cache (shared reachable/fair sets,
+// subformula memo, warm-start records) answers repeated checks of an
+// unchanged model without recompiling it. Output mirrors local mode.
+func checkRemote(base, src string, module *smv.Module, cfg smvd.Config, extraLTL string) int {
+	req := smvd.CheckRequest{Model: src, Config: cfg}
+	for _, sp := range module.Specs {
+		req.Specs = append(req.Specs, sp.Source)
+	}
+	for _, sp := range module.LTLSpecs {
+		req.LTL = append(req.LTL, sp.Source)
+	}
+	if extraLTL != "" {
+		req.LTL = append(req.LTL, extraLTL)
+	}
+	body, err := json.Marshal(&req)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	hr, err := http.Post(strings.TrimRight(base, "/")+"/check", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(hr.Body)
+		fmt.Fprintf(os.Stderr, "smvd: %s: %s\n", hr.Status, bytes.TrimSpace(msg))
+		return 2
+	}
+	var resp smvd.CheckResponse
+	if err := json.NewDecoder(hr.Body).Decode(&resp); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	nCTL := len(req.Specs)
+	code := 0
+	for i, v := range resp.Verdicts {
+		kind := "specification"
+		if i >= nCTL {
+			kind = "LTL specification"
+		}
+		fmt.Printf("-- %s %s ", kind, v.Spec)
+		switch {
+		case v.Error != "":
+			fmt.Printf("ERROR: %s\n", v.Error)
+			code = 2
+		case v.Holds:
+			fmt.Println("is true")
+		default:
+			fmt.Println("is false")
+			if code == 0 {
+				code = 1
+			}
+			if v.Trace != "" {
+				fmt.Println("-- as demonstrated by the following execution sequence:")
+				fmt.Print(v.Trace)
+			}
+		}
+	}
+	warmth := "cold"
+	if resp.Warm {
+		warmth = "warm"
+		if resp.WarmSource != "" {
+			warmth = "warm (" + resp.WarmSource + ")"
+		}
+	}
+	fmt.Printf("-- smvd: session %.12s %s, %.0f reachable states, %.1fms\n",
+		resp.ModelKey, warmth, resp.ReachableStates, resp.ElapsedMs)
+	return code
 }
 
 // printWitness prints a demonstration for satisfied specs whose
@@ -303,7 +461,28 @@ func printTrace(c *smv.Compiled, tr *core.Trace, delta bool) {
 	fmt.Print(c.TraceString(tr))
 }
 
+var memProfilePath string
+
+// exit stops the profilers (deferred functions do not survive os.Exit)
+// and terminates with the given code.
+func exit(code int) {
+	pprof.StopCPUProfile()
+	if memProfilePath != "" {
+		f, err := os.Create(memProfilePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		f.Close()
+	}
+	os.Exit(code)
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, err)
-	os.Exit(2)
+	exit(2)
 }

@@ -1,0 +1,266 @@
+// Command smvload drives an smvd server with a mixed workload and
+// reports cache effectiveness: cold-compile latency, warm-query
+// latency, sustained QPS, and verdict divergences against the known
+// truth of the generated arbiter models.
+//
+// With -addr it targets a running server over HTTP; without, it runs
+// an in-process server (useful under -race and in CI, where it doubles
+// as the concurrency smoke test).
+//
+// Usage:
+//
+//	smvload [-addr http://localhost:8611] [-sessions 64] [-clients 8]
+//	        [-workers 16] [-duration 5s] [-cache-dir DIR] [-o report.json]
+//
+// Workload: -sessions distinct arbiter models (same structure, unique
+// tag, so each gets its own content-hash session). Phase 1 compiles
+// each once (cold). Phase 2 hammers them from -workers goroutines for
+// -duration, mixing hot queries, bad-model requests and tiny-deadline
+// requests. Every verdict is checked against the arbiter's known
+// truth; any divergence fails the run.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/modelgen"
+	"repro/internal/smvd"
+)
+
+type checkFn func(*smvd.CheckRequest) (*smvd.CheckResponse, error)
+
+// Report is the JSON written by -o.
+type Report struct {
+	Sessions       int     `json:"sessions"`
+	Clients        int     `json:"clients"`
+	Workers        int     `json:"workers"`
+	ColdMs         float64 `json:"cold_ms_p50"`
+	ColdMaxMs      float64 `json:"cold_ms_max"`
+	WarmMs         float64 `json:"warm_ms_p50"`
+	WarmSpeedup    float64 `json:"warm_speedup"`
+	QPS            float64 `json:"qps"`
+	Queries        uint64  `json:"queries"`
+	SpecsChecked   uint64  `json:"specs_checked"`
+	BadRejected    uint64  `json:"bad_rejected"`
+	DeadlineMisses uint64  `json:"deadline_misses"`
+	Divergences    uint64  `json:"divergences"`
+	Errors         uint64  `json:"errors"`
+}
+
+func main() {
+	addr := flag.String("addr", "", "smvd base URL (empty: in-process server)")
+	sessions := flag.Int("sessions", 64, "distinct models (= concurrent sessions)")
+	clients := flag.Int("clients", 8, "arbiter clients per model")
+	workers := flag.Int("workers", 16, "concurrent query goroutines")
+	duration := flag.Duration("duration", 5*time.Second, "phase-2 hammer duration")
+	cacheDir := flag.String("cache-dir", "", "in-process server's disk cache dir")
+	out := flag.String("o", "", "write JSON report here")
+	flag.Parse()
+
+	rep, err := run(*addr, *sessions, *clients, *workers, *duration, *cacheDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("cold p50 %.2fms (max %.2fms)  warm p50 %.3fms  speedup %.1fx  %.0f qps\n",
+		rep.ColdMs, rep.ColdMaxMs, rep.WarmMs, rep.WarmSpeedup, rep.QPS)
+	fmt.Printf("queries %d  specs %d  bad rejected %d  deadline misses %d  errors %d  divergences %d\n",
+		rep.Queries, rep.SpecsChecked, rep.BadRejected, rep.DeadlineMisses, rep.Errors, rep.Divergences)
+	if *out != "" {
+		data, _ := json.MarshalIndent(rep, "", "  ")
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if rep.Divergences > 0 {
+		fmt.Fprintln(os.Stderr, "smvload: verdicts diverged from known truth")
+		os.Exit(1)
+	}
+}
+
+func run(addr string, sessions, clients, workers int, duration time.Duration, cacheDir string) (*Report, error) {
+	check, err := makeClient(addr, sessions, cacheDir)
+	if err != nil {
+		return nil, err
+	}
+
+	specs, holds := modelgen.ArbiterSpecs(clients)
+	models := make([]string, sessions)
+	base := modelgen.ArbiterSource(clients)
+	for i := range models {
+		// A unique tag gives each copy its own content hash — distinct
+		// sessions with identical checking behaviour.
+		models[i] = fmt.Sprintf("-- smvload session %d\n%s", i, base)
+	}
+
+	rep := &Report{Sessions: sessions, Clients: clients, Workers: workers}
+	var divergences, errors, badRejected, deadlineMisses, queries, specsChecked atomic.Uint64
+
+	verify := func(resp *smvd.CheckResponse) {
+		for i, v := range resp.Verdicts {
+			specsChecked.Add(1)
+			if v.Error == "smvd: deadline exceeded" {
+				deadlineMisses.Add(1)
+				continue
+			}
+			if v.Error != "" || v.Holds != holds[i] || (!v.Holds && !v.Validated) {
+				divergences.Add(1)
+				fmt.Fprintf(os.Stderr, "smvload: divergence on %q: holds=%v want %v err=%q\n",
+					v.Spec, v.Holds, holds[i], v.Error)
+			}
+		}
+	}
+
+	// Phase 1: cold compile every session, bounded concurrency.
+	coldMs := make([]float64, sessions)
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	var firstErr atomic.Value
+	for i := range models {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			start := time.Now()
+			resp, err := check(&smvd.CheckRequest{Model: models[i], Specs: specs})
+			if err != nil {
+				firstErr.CompareAndSwap(nil, err)
+				return
+			}
+			queries.Add(1)
+			coldMs[i] = float64(time.Since(start)) / float64(time.Millisecond)
+			if resp.Warm {
+				// A pre-warmed disk cache is fine, but then this is not a
+				// cold measurement; flag it by zeroing.
+				coldMs[i] = 0
+			}
+			verify(resp)
+		}(i)
+	}
+	wg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return nil, fmt.Errorf("cold phase: %w", err)
+	}
+	sort.Float64s(coldMs)
+	rep.ColdMs = coldMs[len(coldMs)/2]
+	rep.ColdMaxMs = coldMs[len(coldMs)-1]
+
+	// Phase 2: hammer. Mostly hot queries; a sprinkle of bad models and
+	// tiny-deadline requests to exercise the error paths under load.
+	stop := time.Now().Add(duration)
+	var warmMu sync.Mutex
+	var warmMs []float64
+	hammerStart := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for time.Now().Before(stop) {
+				switch roll := rng.Intn(100); {
+				case roll < 3:
+					if _, err := check(&smvd.CheckRequest{Model: "MODULE main\nVAR x : oops(;"}); err != nil {
+						badRejected.Add(1)
+					} else {
+						errors.Add(1) // a bad model must NOT succeed
+					}
+				case roll < 6:
+					resp, err := check(&smvd.CheckRequest{
+						Model: models[rng.Intn(len(models))], Specs: specs, DeadlineMs: 1,
+					})
+					if err == nil {
+						queries.Add(1)
+						for _, v := range resp.Verdicts {
+							if v.Error == "smvd: deadline exceeded" {
+								deadlineMisses.Add(1)
+							}
+						}
+					} else {
+						deadlineMisses.Add(1)
+					}
+				default:
+					m := models[rng.Intn(len(models))]
+					start := time.Now()
+					resp, err := check(&smvd.CheckRequest{Model: m, Specs: specs})
+					if err != nil {
+						errors.Add(1)
+						continue
+					}
+					queries.Add(1)
+					if resp.Warm {
+						warmMu.Lock()
+						warmMs = append(warmMs, float64(time.Since(start))/float64(time.Millisecond))
+						warmMu.Unlock()
+					}
+					verify(resp)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(hammerStart)
+
+	if len(warmMs) > 0 {
+		sort.Float64s(warmMs)
+		rep.WarmMs = warmMs[len(warmMs)/2]
+		if rep.WarmMs > 0 {
+			rep.WarmSpeedup = rep.ColdMs / rep.WarmMs
+		}
+	}
+	rep.QPS = float64(queries.Load()) / elapsed.Seconds()
+	rep.Queries = queries.Load()
+	rep.SpecsChecked = specsChecked.Load()
+	rep.BadRejected = badRejected.Load()
+	rep.DeadlineMisses = deadlineMisses.Load()
+	rep.Divergences = divergences.Load()
+	rep.Errors = errors.Load()
+	return rep, nil
+}
+
+// makeClient returns the query function: HTTP against -addr, or an
+// in-process server sized for the workload.
+func makeClient(addr string, sessions int, cacheDir string) (checkFn, error) {
+	if addr == "" {
+		cache, err := smvd.NewCache(sessions, 0, cacheDir)
+		if err != nil {
+			return nil, err
+		}
+		sv := smvd.NewServer(cache)
+		return sv.Check, nil
+	}
+	client := &http.Client{}
+	url := addr + "/check"
+	return func(req *smvd.CheckRequest) (*smvd.CheckResponse, error) {
+		body, err := json.Marshal(req)
+		if err != nil {
+			return nil, err
+		}
+		hr, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		defer hr.Body.Close()
+		if hr.StatusCode != http.StatusOK {
+			var msg bytes.Buffer
+			msg.ReadFrom(hr.Body)
+			return nil, fmt.Errorf("smvd: %s: %s", hr.Status, bytes.TrimSpace(msg.Bytes()))
+		}
+		var resp smvd.CheckResponse
+		if err := json.NewDecoder(hr.Body).Decode(&resp); err != nil {
+			return nil, err
+		}
+		return &resp, nil
+	}, nil
+}

@@ -127,6 +127,12 @@ type Manager struct {
 	binop []binEntry
 	aex   []aexEntry // lazily allocated by AndExists
 
+	// cacheSize is the current entry count of each computed table
+	// (always a power of two). cachePinned is set by SetCacheSize and
+	// stops the automatic arena-proportional growth.
+	cacheSize   int
+	cachePinned bool
+
 	perms []*Permutation // registered variable permutations
 
 	roots map[Ref]int // protected external references
@@ -168,6 +174,7 @@ type Stats struct {
 	GCRuns       uint64
 	NodesFreed   uint64
 	Reorderings  uint64
+	CacheGrowths uint64 // computed-table resizes (automatic + SetCacheSize)
 
 	// Relational-product counters: top-level AndExists calls and the
 	// dedicated triple-cache traffic of its recursion. Hit rate here is
@@ -221,11 +228,15 @@ type binEntry struct {
 	res  Ref
 }
 
-// Cache/bucket sizing.
+// Cache/bucket sizing. The computed tables start at defaultCacheSize
+// entries and, unless pinned with SetCacheSize, grow with the arena up
+// to maxAutoCacheSize: a direct-mapped cache much smaller than the live
+// node count thrashes, and the fixpoint engines re-derive the same
+// subproblems over and over.
 const (
 	initialLevelBuckets = 1 << 6 // per-level subtable start size
-	iteCacheSize        = 1 << 16
-	binCacheSize        = 1 << 16
+	defaultCacheSize    = 1 << 16
+	maxAutoCacheSize    = 1 << 21
 )
 
 // Option configures a Manager at construction time.
@@ -249,8 +260,9 @@ func New(numVars int, opts ...Option) *Manager {
 		panic("bdd: negative variable count")
 	}
 	m := &Manager{
-		ite:         make([]iteEntry, iteCacheSize),
-		binop:       make([]binEntry, binCacheSize),
+		ite:         make([]iteEntry, defaultCacheSize),
+		binop:       make([]binEntry, defaultCacheSize),
+		cacheSize:   defaultCacheSize,
 		roots:       make(map[Ref]int),
 		gcThreshold: 1 << 20,
 		reorderOpts: DefaultReorderOptions(),
@@ -601,10 +613,53 @@ func cacheIndex(a, b, c, d uint32, size uint32) uint32 {
 	return uint32(x) & (size - 1)
 }
 
-// sanity: cache sizes must be powers of two for the masking above.
-var _ = func() struct{} {
-	if bits.OnesCount(uint(iteCacheSize)) != 1 || bits.OnesCount(uint(binCacheSize)) != 1 {
-		panic("bdd: cache sizes must be powers of two")
+// CacheSize returns the current entry count of each computed table
+// (ITE, binary-op and AndExists caches are sized identically).
+func (m *Manager) CacheSize() int { return m.cacheSize }
+
+// SetCacheSize resizes the computed tables to n entries each and pins
+// them there, disabling the automatic arena-proportional growth. n must
+// be a power of two in [2^10, 2^24]. Resizing discards all cached
+// results (the slot hash depends on the size), which is always safe —
+// the tables are memoization only.
+func (m *Manager) SetCacheSize(n int) error {
+	if bits.OnesCount(uint(n)) != 1 {
+		return fmt.Errorf("bdd: cache size %d is not a power of two", n)
 	}
-	return struct{}{}
-}()
+	if n < 1<<10 || n > 1<<24 {
+		return fmt.Errorf("bdd: cache size %d outside [%d, %d]", n, 1<<10, 1<<24)
+	}
+	m.resizeCaches(n)
+	m.cachePinned = true
+	return nil
+}
+
+// resizeCaches reallocates the computed tables at n entries.
+func (m *Manager) resizeCaches(n int) {
+	m.cacheSize = n
+	m.ite = make([]iteEntry, n)
+	m.binop = make([]binEntry, n)
+	if m.aex != nil {
+		m.aex = make([]aexEntry, n)
+	}
+	m.Stats.CacheGrowths++
+}
+
+// maybeGrowCaches scales the computed tables with the arena: whenever
+// the live-node count outgrows the cache, the cache doubles (up to
+// maxAutoCacheSize) so the hit rate does not collapse on large models.
+// Called at safe points only (MaybeGC, GC) — never mid-recursion inside
+// a parallel section, where workers read the sequential tables' twin
+// seqlock caches instead.
+func (m *Manager) maybeGrowCaches() {
+	if m.cachePinned || m.cacheSize >= maxAutoCacheSize {
+		return
+	}
+	target := m.cacheSize
+	for target < maxAutoCacheSize && m.numAlloc > target {
+		target *= 2
+	}
+	if target > m.cacheSize {
+		m.resizeCaches(target)
+	}
+}

@@ -1,0 +1,101 @@
+package bdd
+
+import (
+	"testing"
+)
+
+// TestSetCacheSizeValidation: only powers of two inside the allowed
+// band are accepted, and accepted sizes are observable.
+func TestSetCacheSizeValidation(t *testing.T) {
+	m := New(4)
+	for _, bad := range []int{0, -1, 3, 1000, 1 << 9, 1<<24 + 1, 1 << 25, (1 << 16) + 1} {
+		if err := m.SetCacheSize(bad); err == nil {
+			t.Errorf("SetCacheSize(%d): want error, got nil", bad)
+		}
+	}
+	for _, good := range []int{1 << 10, 1 << 12, 1 << 16, 1 << 20} {
+		if err := m.SetCacheSize(good); err != nil {
+			t.Fatalf("SetCacheSize(%d): %v", good, err)
+		}
+		if m.CacheSize() != good {
+			t.Fatalf("CacheSize() = %d, want %d", m.CacheSize(), good)
+		}
+		if len(m.ite) != good || len(m.binop) != good {
+			t.Fatalf("cache slices not resized: ite %d binop %d want %d", len(m.ite), len(m.binop), good)
+		}
+	}
+}
+
+// TestSetCacheSizeKeepsResults: operations after a resize still compute
+// correct canonical results (the caches are memoization only).
+func TestSetCacheSizeKeepsResults(t *testing.T) {
+	m := New(6)
+	f := m.And(m.Var(0), m.Or(m.Var(1), m.NVar(2)))
+	g := m.Xor(m.Var(3), m.Var(4))
+	want := m.And(f, g)
+	if err := m.SetCacheSize(1 << 10); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.And(f, g); got != want {
+		t.Fatalf("And after resize: got %v want %v", got, want)
+	}
+	if got := m.Not(m.Or(m.Not(f), m.Not(g))); got != want {
+		t.Fatalf("De Morgan after resize: got %v want %v", got, want)
+	}
+}
+
+// TestCacheAutoGrowth: a manager whose arena outgrows the default
+// computed-table size doubles the tables at the next safe point, and a
+// pinned manager does not.
+func TestCacheAutoGrowth(t *testing.T) {
+	grow := func(pin bool) *Manager {
+		m := New(64)
+		if pin {
+			if err := m.SetCacheSize(defaultCacheSize); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Build a function family big enough to push the arena past the
+		// default cache size (~65k nodes): disjoint products of xors.
+		acc := False
+		for i := 0; i < 60; i += 2 {
+			acc = m.Or(acc, m.And(m.Xor(m.Var(i), m.Var(i+1)), m.Var((i+7)%64)))
+		}
+		m.Protect(acc)
+		for m.NumNodes() <= defaultCacheSize {
+			acc = m.Or(acc, randomDense(m))
+			m.Protect(acc)
+		}
+		m.MaybeGC()
+		return m
+	}
+	if m := grow(false); m.CacheSize() <= defaultCacheSize {
+		t.Fatalf("auto growth: cache still %d with %d live nodes", m.CacheSize(), m.NumNodes())
+	} else if m.Stats.CacheGrowths == 0 {
+		t.Fatal("auto growth: CacheGrowths not counted")
+	}
+	if m := grow(true); m.CacheSize() != defaultCacheSize {
+		t.Fatalf("pinned: cache grew to %d", m.CacheSize())
+	}
+}
+
+// randomDense builds a dense-ish function to bloat the arena quickly.
+var denseSeed uint64 = 1
+
+func randomDense(m *Manager) Ref {
+	xorshift := func() uint64 {
+		denseSeed ^= denseSeed << 13
+		denseSeed ^= denseSeed >> 7
+		denseSeed ^= denseSeed << 17
+		return denseSeed
+	}
+	acc := True
+	for i := 0; i < 64; i++ {
+		if xorshift()%3 == 0 {
+			acc = m.And(acc, m.Lit(i, xorshift()%2 == 0))
+		} else if xorshift()%3 == 1 {
+			acc = m.Xor(acc, m.Var(i))
+		}
+	}
+	return acc
+}

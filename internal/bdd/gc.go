@@ -96,6 +96,11 @@ func (m *Manager) mark(f Ref) {
 // threshold, returning the number of nodes freed (0 if no collection
 // ran). Callers must ensure every Ref they still need is protected.
 func (m *Manager) MaybeGC() int {
+	if m.par == nil || !m.par.inSection {
+		// MaybeGC is called at fixpoint safe points; scale the computed
+		// tables with the arena here even when no collection runs.
+		m.maybeGrowCaches()
+	}
 	if m.numAlloc <= m.gcThreshold {
 		return 0
 	}

@@ -24,7 +24,7 @@ const (
 
 func (m *Manager) binCacheGet(op uint32, f, g Ref) (Ref, bool) {
 	m.Stats.CacheLookups++
-	slot := cacheIndex(op, uint32(f), uint32(g), 0x9d, binCacheSize)
+	slot := cacheIndex(op, uint32(f), uint32(g), 0x9d, uint32(len(m.binop)))
 	e := &m.binop[slot]
 	if e.op == op && e.f == f && e.g == g {
 		m.Stats.CacheHits++
@@ -34,7 +34,7 @@ func (m *Manager) binCacheGet(op uint32, f, g Ref) (Ref, bool) {
 }
 
 func (m *Manager) binCachePut(op uint32, f, g, res Ref) {
-	slot := cacheIndex(op, uint32(f), uint32(g), 0x9d, binCacheSize)
+	slot := cacheIndex(op, uint32(f), uint32(g), 0x9d, uint32(len(m.binop)))
 	m.binop[slot] = binEntry{op: op, f: f, g: g, res: res}
 }
 
@@ -184,7 +184,7 @@ func (m *Manager) AndExists(f, g, cube Ref) Ref {
 		return m.parRunOne(func(c *parCtx) (Ref, bool) { return m.parAndExists(c, f, g, cube, 0) })
 	}
 	if m.aex == nil {
-		m.aex = make([]aexEntry, iteCacheSize)
+		m.aex = make([]aexEntry, m.cacheSize)
 	}
 	return m.andExists(f, g, cube)
 }

@@ -14,6 +14,15 @@ package bdd
 // complement edges or the structural representation. Files written by
 // the v1 format ("GOBDD1\n", two-terminal, no complement bits) are
 // still read; Save always writes v2.
+//
+// Format v3 ("GOBDD3\n") is the warm-start record: the v2 body followed
+// by *named* roots (length-prefixed UTF-8 name + sign-encoded root per
+// entry), written by SaveNamed and read by LoadNamed. Because the saved
+// variable order travels with every version, a v3 reader can also adopt
+// it — reordering the target manager to the saved (sifted) order before
+// decoding — so a restarted process pays the dynamic-reordering work of
+// a model once, ever. Load accepts v3 files too, dropping the names;
+// LoadNamed accepts v1/v2 files, returning empty names.
 
 import (
 	"bufio"
@@ -26,7 +35,20 @@ import (
 const (
 	serialMagicV1 = "GOBDD1\n"
 	serialMagicV2 = "GOBDD2\n"
+	serialMagicV3 = "GOBDD3\n"
 )
+
+// maxSavedNameLen bounds the name records of a v3 file; anything longer
+// is a corrupt record, not a legitimate root name.
+const maxSavedNameLen = 1 << 12
+
+// NamedRoot pairs a root BDD with a symbolic name, for warm-start
+// records where the loader must know which root is which (e.g. the
+// reachable-state set vs. the fair-state set of a model).
+type NamedRoot struct {
+	Name string
+	Ref  Ref
+}
 
 // Save writes the given roots (and the manager's variable order) to w
 // in format v2.
@@ -35,18 +57,74 @@ func (m *Manager) Save(w io.Writer, roots []Ref) error {
 	if _, err := bw.WriteString(serialMagicV2); err != nil {
 		return err
 	}
-	writeU32 := func(x uint32) error {
-		var buf [4]byte
-		binary.LittleEndian.PutUint32(buf[:], x)
-		_, err := bw.Write(buf[:])
+	enc, err := m.writeOrderAndNodes(bw, roots)
+	if err != nil {
 		return err
 	}
-	if err := writeU32(uint32(m.NumVars())); err != nil {
+	if err := writeU32To(bw, uint32(len(roots))); err != nil {
 		return err
+	}
+	for _, r := range roots {
+		if err := writeU32To(bw, enc(r)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveNamed writes the named roots (and the manager's variable order)
+// to w in format v3.
+func (m *Manager) SaveNamed(w io.Writer, roots []NamedRoot) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(serialMagicV3); err != nil {
+		return err
+	}
+	refs := make([]Ref, len(roots))
+	for i, r := range roots {
+		if len(r.Name) > maxSavedNameLen {
+			return fmt.Errorf("bdd: root name %q too long to save", r.Name[:32]+"...")
+		}
+		refs[i] = r.Ref
+	}
+	enc, err := m.writeOrderAndNodes(bw, refs)
+	if err != nil {
+		return err
+	}
+	if err := writeU32To(bw, uint32(len(roots))); err != nil {
+		return err
+	}
+	for _, r := range roots {
+		if err := writeU32To(bw, uint32(len(r.Name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(r.Name); err != nil {
+			return err
+		}
+		if err := writeU32To(bw, enc(r.Ref)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeU32To(bw *bufio.Writer, x uint32) error {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], x)
+	_, err := bw.Write(buf[:])
+	return err
+}
+
+// writeOrderAndNodes writes the variable order and the topologically
+// ordered node table of the given roots — the body shared by v2 and v3
+// — and returns the edge encoder ((tableIndex << 1) | complementBit)
+// for the trailing root records.
+func (m *Manager) writeOrderAndNodes(bw *bufio.Writer, roots []Ref) (func(Ref) uint32, error) {
+	if err := writeU32To(bw, uint32(m.NumVars())); err != nil {
+		return nil, err
 	}
 	for _, v := range m.level2var {
-		if err := writeU32(uint32(v)); err != nil {
-			return err
+		if err := writeU32To(bw, uint32(v)); err != nil {
+			return nil, err
 		}
 	}
 
@@ -70,7 +148,6 @@ func (m *Manager) Save(w io.Writer, roots []Ref) error {
 		m.checkRef(r)
 		visit(r)
 	}
-	// encode an edge or root as (tableIndex << 1) | complementBit.
 	enc := func(f Ref) uint32 {
 		e := index[f&^compBit] << 1
 		if f&compBit != 0 {
@@ -79,30 +156,22 @@ func (m *Manager) Save(w io.Writer, roots []Ref) error {
 		return e
 	}
 
-	if err := writeU32(uint32(len(order))); err != nil {
-		return err
+	if err := writeU32To(bw, uint32(len(order))); err != nil {
+		return nil, err
 	}
 	for _, f := range order {
 		n := &m.nodes[f]
-		if err := writeU32(n.lvl &^ markBit); err != nil {
-			return err
+		if err := writeU32To(bw, n.lvl&^markBit); err != nil {
+			return nil, err
 		}
-		if err := writeU32(enc(n.low)); err != nil {
-			return err
+		if err := writeU32To(bw, enc(n.low)); err != nil {
+			return nil, err
 		}
-		if err := writeU32(enc(n.high)); err != nil {
-			return err
-		}
-	}
-	if err := writeU32(uint32(len(roots))); err != nil {
-		return err
-	}
-	for _, r := range roots {
-		if err := writeU32(enc(r)); err != nil {
-			return err
+		if err := writeU32To(bw, enc(n.high)); err != nil {
+			return nil, err
 		}
 	}
-	return bw.Flush()
+	return enc, nil
 }
 
 // Load reads roots previously written by Save into the manager,
@@ -112,18 +181,71 @@ func (m *Manager) Save(w io.Writer, roots []Ref) error {
 // function is reconstructed over the same variable indices it was
 // built over (levels follow the target manager's current order).
 func (m *Manager) Load(r io.Reader) ([]Ref, error) {
+	named, err := m.LoadNamed(r, false)
+	if err != nil {
+		return nil, err
+	}
+	roots := make([]Ref, len(named))
+	for i, nr := range named {
+		roots[i] = nr.Ref
+	}
+	return roots, nil
+}
+
+// LoadNamed reads a saved BDD file of any version and returns its roots
+// with their names (v1/v2 files carry no names; theirs are empty). When
+// adoptOrder is true the manager is reordered to the saved variable
+// order before the nodes are decoded — the warm-start path: the sifted
+// order computed by a previous process is restored instead of being
+// re-derived by dynamic reordering. Adoption requires the saved order
+// to cover exactly the manager's variables.
+func (m *Manager) LoadNamed(r io.Reader, adoptOrder bool) ([]NamedRoot, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(serialMagicV2))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, err
 	}
 	switch string(magic) {
+	case serialMagicV3:
+		return m.loadV3(br, adoptOrder)
 	case serialMagicV2:
-		return m.loadV2(br)
+		roots, err := m.loadV2(br, adoptOrder)
+		return anonRoots(roots), err
 	case serialMagicV1:
-		return m.loadV1(br)
+		roots, err := m.loadV1(br, adoptOrder)
+		return anonRoots(roots), err
 	}
 	return nil, errors.New("bdd: bad magic (not a saved BDD)")
+}
+
+func anonRoots(roots []Ref) []NamedRoot {
+	if roots == nil {
+		return nil
+	}
+	out := make([]NamedRoot, len(roots))
+	for i, r := range roots {
+		out[i] = NamedRoot{Ref: r}
+	}
+	return out
+}
+
+// adoptSavedOrder reorders the manager to the saved level-to-variable
+// map. It refuses partial orders: adoption only makes sense when the
+// file was written by a manager over the same variable set.
+func (m *Manager) adoptSavedOrder(savedLevel2Var []int) error {
+	if len(savedLevel2Var) != m.NumVars() {
+		return fmt.Errorf("bdd: cannot adopt saved order over %d variables into a manager with %d",
+			len(savedLevel2Var), m.NumVars())
+	}
+	seen := make([]bool, len(savedLevel2Var))
+	for _, v := range savedLevel2Var {
+		if v < 0 || v >= len(seen) || seen[v] {
+			return errors.New("bdd: saved order is not a permutation")
+		}
+		seen[v] = true
+	}
+	m.Reorder(savedLevel2Var, nil)
+	return nil
 }
 
 func readU32From(br *bufio.Reader) (uint32, error) {
@@ -158,18 +280,24 @@ func (m *Manager) loadOrder(br *bufio.Reader) ([]int, error) {
 	return savedLevel2Var, nil
 }
 
-// loadV2 reads the body of a v2 file: plain node triples with
-// sign-encoded edges and roots.
-func (m *Manager) loadV2(br *bufio.Reader) ([]Ref, error) {
+// loadNodeTable reads the saved order and the node table — the body
+// shared by v2 and v3 — optionally adopting the saved variable order
+// first, and returns the decoded table plus the edge decoder.
+func (m *Manager) loadNodeTable(br *bufio.Reader, adoptOrder bool) ([]Ref, func(e, limit uint32) (Ref, error), error) {
 	savedLevel2Var, err := m.loadOrder(br)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	if adoptOrder {
+		if err := m.adoptSavedOrder(savedLevel2Var); err != nil {
+			return nil, nil, err
+		}
 	}
 	nvars := uint32(len(savedLevel2Var))
 
 	nnodes, err := readU32From(br)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// Grown incrementally: a corrupt count must fail at the first short
 	// read, not preallocate gigabytes.
@@ -189,31 +317,41 @@ func (m *Manager) loadV2(br *bufio.Reader) ([]Ref, error) {
 	for i := uint32(0); i < nnodes; i++ {
 		lvl, err := readU32From(br)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		lowEnc, err := readU32From(br)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		highEnc, err := readU32From(br)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if lvl >= nvars {
-			return nil, errors.New("bdd: corrupt node record")
+			return nil, nil, errors.New("bdd: corrupt node record")
 		}
 		low, err := dec(lowEnc, i+1)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		high, err := dec(highEnc, i+1)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		v := savedLevel2Var[lvl]
 		// Rebuild through ITE so a different variable order in the
 		// target manager still yields the correct (canonical) function.
 		table = append(table, m.ite3(m.Var(v), high, low))
+	}
+	return table, dec, nil
+}
+
+// loadV2 reads the body of a v2 file: plain node triples with
+// sign-encoded edges and roots.
+func (m *Manager) loadV2(br *bufio.Reader, adoptOrder bool) ([]Ref, error) {
+	table, dec, err := m.loadNodeTable(br, adoptOrder)
+	if err != nil {
+		return nil, err
 	}
 	nroots, err := readU32From(br)
 	if err != nil {
@@ -234,6 +372,43 @@ func (m *Manager) loadV2(br *bufio.Reader) ([]Ref, error) {
 	return roots, nil
 }
 
+// loadV3 reads the body of a v3 file: the shared node table followed by
+// named roots.
+func (m *Manager) loadV3(br *bufio.Reader, adoptOrder bool) ([]NamedRoot, error) {
+	table, dec, err := m.loadNodeTable(br, adoptOrder)
+	if err != nil {
+		return nil, err
+	}
+	nroots, err := readU32From(br)
+	if err != nil {
+		return nil, err
+	}
+	roots := make([]NamedRoot, 0, clampPrealloc(nroots))
+	for i := uint32(0); i < nroots; i++ {
+		nameLen, err := readU32From(br)
+		if err != nil {
+			return nil, err
+		}
+		if nameLen > maxSavedNameLen {
+			return nil, errors.New("bdd: corrupt name record")
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, err
+		}
+		e, err := readU32From(br)
+		if err != nil {
+			return nil, err
+		}
+		f, err := dec(e, uint32(len(table)))
+		if err != nil {
+			return nil, errors.New("bdd: corrupt root record")
+		}
+		roots = append(roots, NamedRoot{Name: string(name), Ref: f})
+	}
+	return roots, nil
+}
+
 // clampPrealloc bounds slice preallocation from untrusted counts; the
 // slices grow past it by appending, after the stream has actually
 // delivered that many records.
@@ -247,10 +422,15 @@ func clampPrealloc(n uint32) int {
 
 // loadV1 reads the body of a legacy v1 file: two-terminal node table
 // (indices 0 and 1 are False and True), no complement bits.
-func (m *Manager) loadV1(br *bufio.Reader) ([]Ref, error) {
+func (m *Manager) loadV1(br *bufio.Reader, adoptOrder bool) ([]Ref, error) {
 	savedLevel2Var, err := m.loadOrder(br)
 	if err != nil {
 		return nil, err
+	}
+	if adoptOrder {
+		if err := m.adoptSavedOrder(savedLevel2Var); err != nil {
+			return nil, err
+		}
 	}
 	nvars := uint32(len(savedLevel2Var))
 

@@ -19,6 +19,23 @@ func goldenV2(t *testing.T) []byte {
 	return buf.Bytes()
 }
 
+// goldenV3 saves the same function family as named warm-start roots and
+// returns the raw v3 bytes.
+func goldenV3(t *testing.T) []byte {
+	t.Helper()
+	m := New(4)
+	f := m.Xor(m.Var(0), m.And(m.Var(1), m.Var(3)))
+	var buf bytes.Buffer
+	err := m.SaveNamed(&buf, []NamedRoot{
+		{Name: "reach", Ref: f},
+		{Name: "fair", Ref: m.Not(f)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
 // goldenV1 hand-assembles a legacy v1 stream (Save only writes v2):
 // the two-variable xor from TestLoadV1Legacy.
 func goldenV1(t *testing.T) []byte {
@@ -68,6 +85,7 @@ func TestLoadTruncatedEveryPrefix(t *testing.T) {
 	}{
 		{"v2", goldenV2(t)},
 		{"v1", goldenV1(t)},
+		{"v3", goldenV3(t)},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			for cut := 0; cut < len(tc.data); cut++ {
@@ -92,6 +110,7 @@ func TestLoadBitFlipSweep(t *testing.T) {
 	}{
 		{"v2", goldenV2(t)},
 		{"v1", goldenV1(t)},
+		{"v3", goldenV3(t)},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			for pos := 0; pos < len(tc.data); pos++ {
@@ -129,9 +148,9 @@ func TestLoadCorruptRecords(t *testing.T) {
 		return out
 	}
 	const (
-		hdr      = 7          // magic
-		offNvars = hdr        // nvars (4)
-		offOrder = hdr + 4    // 4 vars × 4 bytes
+		hdr      = 7       // magic
+		offNvars = hdr     // nvars (4)
+		offOrder = hdr + 4 // 4 vars × 4 bytes
 		offCount = offOrder + 16
 		offNodes = offCount + 4 // first node triple
 	)
@@ -156,6 +175,43 @@ func TestLoadCorruptRecords(t *testing.T) {
 			m := New(4)
 			if _, err := loadNoPanic(t, m, tc.data, tc.name); err == nil {
 				t.Fatalf("corrupt stream loaded without error")
+			}
+		})
+	}
+}
+
+// TestLoadV3CorruptRecords exercises the rejection paths specific to
+// the v3 named-root trailer: name lengths beyond the record bound,
+// names longer than the remaining stream, and out-of-range root edges.
+func TestLoadV3CorruptRecords(t *testing.T) {
+	base := goldenV3(t)
+	const hdr = 7
+	nnodes := binary.LittleEndian.Uint32(base[hdr+4+16:])
+	// Offset of the root count, then of the first root's name-length word.
+	rootCountOff := hdr + 4 + 16 + 4 + int(nnodes)*12
+	nameLenOff := rootCountOff + 4
+	firstName := int(binary.LittleEndian.Uint32(base[nameLenOff:]))
+	firstRootOff := nameLenOff + 4 + firstName
+	u32at := func(data []byte, off int, v uint32) []byte {
+		out := append([]byte(nil), data...)
+		binary.LittleEndian.PutUint32(out[off:], v)
+		return out
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"huge name length", u32at(base, nameLenOff, 0xFFFFFFF0)},
+		{"name length over bound", u32at(base, nameLenOff, maxSavedNameLen+1)},
+		{"name longer than stream", u32at(base, nameLenOff, maxSavedNameLen)},
+		{"root edge out of range", u32at(base, firstRootOff, 500<<1)},
+		{"huge root count, truncated trailer", u32at(base, rootCountOff, 0xFFFFFFF0)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := New(4)
+			if _, err := loadNoPanic(t, m, tc.data, tc.name); err == nil {
+				t.Fatalf("corrupt v3 stream loaded without error")
 			}
 		})
 	}

@@ -80,6 +80,12 @@ type RelStats struct {
 	ParallelBatches uint64
 	PeakLiveNodes   int
 
+	// ReachableReuses counts Reachable calls answered from the cache
+	// (EnableReachableCache / SetReachable) without running the fixpoint —
+	// the counter a warm-start test asserts on to prove reachability was
+	// actually skipped.
+	ReachableReuses uint64
+
 	// Computed-cache traffic of the underlying manager (ITE, binary and
 	// AndExists lookups all funnel through these counters) accumulated
 	// since the last ResetRelStats, and the unique-table load factor

@@ -1,0 +1,59 @@
+package kripke
+
+import "testing"
+
+// TestReachableCacheReuse: with the cache enabled the fixpoint runs
+// once; later calls return the identical set and count as reuses.
+func TestReachableCacheReuse(t *testing.T) {
+	s := twoBitCounter(t)
+	s.EnableReachableCache()
+	r1, it1 := s.Reachable()
+	if s.RelStats().ReachableReuses != 0 {
+		t.Fatal("first Reachable must not count as a reuse")
+	}
+	r2, it2 := s.Reachable()
+	if r2 != r1 || it2 != it1 {
+		t.Fatalf("cached Reachable diverged: (%v,%d) vs (%v,%d)", r2, it2, r1, it1)
+	}
+	if got := s.RelStats().ReachableReuses; got != 1 {
+		t.Fatalf("ReachableReuses = %d, want 1", got)
+	}
+	if c, it, ok := s.ReachableCached(); !ok || c != r1 || it != it1 {
+		t.Fatal("ReachableCached does not expose the cache")
+	}
+}
+
+// TestReachableCacheOffByDefault: without EnableReachableCache nothing
+// sticks and nothing is counted.
+func TestReachableCacheOffByDefault(t *testing.T) {
+	s := twoBitCounter(t)
+	s.Reachable()
+	s.Reachable()
+	if got := s.RelStats().ReachableReuses; got != 0 {
+		t.Fatalf("ReachableReuses = %d with caching off", got)
+	}
+	if _, _, ok := s.ReachableCached(); ok {
+		t.Fatal("cache populated without EnableReachableCache")
+	}
+}
+
+// TestSetReachableSkipsFixpoint: a seeded set is served as-is — the
+// warm-start contract — and survives image calls that trigger GC.
+func TestSetReachableSkipsFixpoint(t *testing.T) {
+	s := twoBitCounter(t)
+	want, wantIters := s.Reachable() // computed without caching
+	s.SetReachable(want, wantIters)
+	got, iters := s.Reachable()
+	if got != want || iters != wantIters {
+		t.Fatal("seeded reachable set not served back")
+	}
+	if s.RelStats().ReachableReuses != 1 {
+		t.Fatal("seeded Reachable call not counted as reuse")
+	}
+	// The seed is protected: a GC must not collect it.
+	s.M.GC()
+	got2, _ := s.Reachable()
+	if s.CountStates(got2) != 4 {
+		t.Fatalf("seeded set damaged by GC: %v states", s.CountStates(got2))
+	}
+}

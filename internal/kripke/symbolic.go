@@ -68,6 +68,16 @@ type Symbolic struct {
 
 	hasSucc      bdd.Ref // cached ∃v′.Trans (IsTotal, DeadlockStates)
 	hasSuccValid bool
+
+	// Reachable-state cache (opt-in, EnableReachableCache): the fixpoint
+	// result is kept — protected and reorder-safe — and returned by every
+	// later Reachable call. This is the session-reuse path of a
+	// long-running checking service, and SetReachable is its warm-start
+	// entry: a set restored from disk replaces the fixpoint entirely.
+	reach        bdd.Ref
+	reachIters   int
+	reachValid   bool
+	reachCaching bool
 }
 
 // NewSymbolic allocates a symbolic structure with the given state
@@ -119,6 +129,9 @@ func (s *Symbolic) rewriteRefs(translate func(bdd.Ref) bdd.Ref) {
 	s.nextCube = translate(s.nextCube)
 	if s.hasSuccValid {
 		s.hasSucc = translate(s.hasSucc)
+	}
+	if s.reachValid {
+		s.reach = translate(s.reach)
 	}
 	if p := s.part; p != nil {
 		for i := range p.clusters {
@@ -373,8 +386,49 @@ func (s *Symbolic) hasSuccessors() bdd.Ref {
 // Reachable computes the set of states reachable from Init by a
 // breadth-first least fixpoint, returning the set and the number of
 // frontier iterations. Garbage is collected opportunistically between
-// frontier steps on large models.
+// frontier steps on large models. With the reachable cache enabled the
+// fixpoint runs at most once; repeat calls return the cached set and
+// count as ReachableReuses in RelStats.
 func (s *Symbolic) Reachable() (bdd.Ref, int) {
+	if s.reachValid {
+		s.relStats.ReachableReuses++
+		return s.reach, s.reachIters
+	}
+	reached, iters := s.reachableCompute()
+	if s.reachCaching {
+		s.reach = s.M.Protect(reached)
+		s.reachIters = iters
+		s.reachValid = true
+	}
+	return reached, iters
+}
+
+// EnableReachableCache makes the next Reachable result stick for the
+// structure's lifetime. Off by default: one-shot checking protects and
+// releases the set itself, and tests exercising the fixpoint repeatedly
+// want it recomputed.
+func (s *Symbolic) EnableReachableCache() { s.reachCaching = true }
+
+// SetReachable seeds the reachable cache with an externally computed
+// set — the warm-start path, where the set was restored from a disk
+// record rather than recomputed. iters is the frontier count reported
+// alongside it.
+func (s *Symbolic) SetReachable(r bdd.Ref, iters int) {
+	if s.reachValid {
+		s.M.Unprotect(s.reach)
+	}
+	s.reach = s.M.Protect(r)
+	s.reachIters = iters
+	s.reachValid = true
+	s.reachCaching = true
+}
+
+// ReachableCached peeks at the cache without computing anything.
+func (s *Symbolic) ReachableCached() (bdd.Ref, int, bool) {
+	return s.reach, s.reachIters, s.reachValid
+}
+
+func (s *Symbolic) reachableCompute() (bdd.Ref, int) {
 	if s.DisjunctEnabled() {
 		return s.reachableDisjunct()
 	}

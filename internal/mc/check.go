@@ -29,6 +29,11 @@ type Stats struct {
 	FairEGOuter  uint64
 	PeakNodes    int
 
+	// MemoHits counts checkBasis lookups answered from the per-checker
+	// subformula memo — the cross-spec sharing a session-scoped checker
+	// gets when overlapping specs are checked against one structure.
+	MemoHits uint64
+
 	PreimageCalls    uint64
 	ClusterSteps     uint64
 	DisjunctSteps    uint64 // component products taken by the disjunctive image
@@ -285,6 +290,7 @@ func (c *Checker) CheckInit(f *ctl.Formula) (bool, bdd.Ref, error) {
 func (c *Checker) checkBasis(f *ctl.Formula) (bdd.Ref, error) {
 	key := f.String()
 	if r, ok := c.memo[key]; ok {
+		c.Stats.MemoHits++
 		return r, nil
 	}
 	m := c.S.M

@@ -138,6 +138,22 @@ func (c *Checker) Fair() bdd.Ref {
 	return c.fairSet
 }
 
+// SeedFair installs a precomputed fair-states set, skipping the fair EG
+// fixpoint that Fair would otherwise run — the warm-start path, where
+// the set was restored from a disk record or carried over from a prior
+// query. Call it after SetCareSet/UseReachableCareSet: installing a care
+// set clears the fair cache.
+func (c *Checker) SeedFair(fair bdd.Ref) {
+	if c.haveFair {
+		c.S.M.Unprotect(c.fairSet)
+	}
+	c.fairSet = c.S.M.Protect(fair)
+	c.haveFair = true
+}
+
+// CachedFair peeks at the fair-set cache without computing anything.
+func (c *Checker) CachedFair() (bdd.Ref, bool) { return c.fairSet, c.haveFair }
+
 // FairEX computes EX f under fairness. The argument is registered across
 // the (possibly reordering) fair-set computation.
 func (c *Checker) FairEX(f bdd.Ref) bdd.Ref {

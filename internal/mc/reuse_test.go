@@ -1,0 +1,75 @@
+package mc
+
+import (
+	"testing"
+
+	"repro/internal/ctl"
+	"repro/internal/kripke"
+)
+
+// TestSeedFairSkipsFixpoint: a checker seeded with a precomputed fair
+// set must answer fair queries without running the fair EG fixpoint,
+// and must give the same verdicts as a cold checker.
+func TestSeedFairSkipsFixpoint(t *testing.T) {
+	build := func() *kripke.Symbolic {
+		e := kripke.NewExplicit(2)
+		e.AddEdge(0, 0)
+		e.AddEdge(0, 1)
+		e.AddEdge(1, 1)
+		e.Label(0, "p")
+		e.AddInit(0)
+		e.AddFairSet("h", []bool{false, true})
+		return kripke.FromExplicit(e)
+	}
+
+	cold := New(build())
+	fairSet := cold.Fair()
+	coldVerdict, _, err := cold.CheckInit(ctl.MustParse("EG p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warm := New(cold.S) // same structure, fresh memo
+	warm.SeedFair(fairSet)
+	if got, ok := warm.CachedFair(); !ok || got != fairSet {
+		t.Fatal("CachedFair does not expose the seed")
+	}
+	outerBefore := warm.Stats.FairEGOuter
+	if got := warm.Fair(); got != fairSet {
+		t.Fatal("seeded Fair() diverged")
+	}
+	// EX/EU route through Fair(); the seed means no fair EG runs for it.
+	warm.MustCheck(ctl.MustParse("EX p"))
+	if warm.Stats.FairEGOuter != outerBefore {
+		t.Fatal("seeded checker still ran the fair EG fixpoint for Fair()")
+	}
+	warmVerdict, _, err := warm.CheckInit(ctl.MustParse("EG p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmVerdict != coldVerdict {
+		t.Fatalf("seeded checker verdict %v, cold %v", warmVerdict, coldVerdict)
+	}
+}
+
+// TestMemoHitsCounted: repeat and overlapping formulas are answered from
+// the memo and counted, the cross-spec sharing counter a session
+// surfaces in /statsz.
+func TestMemoHitsCounted(t *testing.T) {
+	s := kripke.FromExplicit(diamond())
+	c := New(s)
+	c.MustCheck(ctl.MustParse("EF q"))
+	// (checkBasis re-fetches the left operand after the right's fixpoints,
+	// so even a first evaluation can record hits; only deltas matter.)
+	first := c.Stats.MemoHits
+	c.MustCheck(ctl.MustParse("EF q"))
+	if c.Stats.MemoHits <= first {
+		t.Fatal("repeat formula not counted as a memo hit")
+	}
+	before := c.Stats.MemoHits
+	// Overlapping spec: the EF q subformula is shared.
+	c.MustCheck(ctl.MustParse("EX EF q"))
+	if c.Stats.MemoHits <= before {
+		t.Fatal("shared subformula not answered from the memo")
+	}
+}
